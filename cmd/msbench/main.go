@@ -1,0 +1,88 @@
+// Command msbench runs the reproduction experiment suite: every figure
+// and validated claim of the paper (DESIGN.md §5, EXPERIMENTS.md).
+//
+// Usage:
+//
+//	msbench                 # run everything
+//	msbench -run E1,E4      # selected experiments
+//	msbench -list           # list experiments
+//	msbench -csv dir/       # also dump each table as CSV under dir/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "msbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("msbench", flag.ContinueOnError)
+	var (
+		list   = fs.Bool("list", false, "list experiments and exit")
+		runIDs = fs.String("run", "", "comma-separated experiment IDs (default: all)")
+		csvDir = fs.String("csv", "", "also write each table as CSV under this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	all := experiments.All()
+	if *list {
+		for _, e := range all {
+			fmt.Fprintf(out, "%-4s %-28s %s\n", e.ID, e.Name, e.Paper)
+		}
+		return nil
+	}
+
+	selected := all
+	if *runIDs != "" {
+		selected = selected[:0]
+		for _, id := range strings.Split(*runIDs, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return fmt.Errorf("creating CSV directory: %w", err)
+		}
+	}
+
+	for _, e := range selected {
+		fmt.Fprintf(out, "=== %s: %s (%s)\n", e.ID, e.Name, e.Paper)
+		start := time.Now()
+		rep, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprint(out, rep.Format())
+		fmt.Fprintf(out, "(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			for i := range rep.Tables {
+				name := fmt.Sprintf("%s_table%d.csv", strings.ToLower(e.ID), i+1)
+				path := filepath.Join(*csvDir, name)
+				if err := os.WriteFile(path, []byte(rep.Tables[i].CSV()), 0o644); err != nil {
+					return fmt.Errorf("writing %s: %w", path, err)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListExperiments(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"E1", "E5", "E10"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("list missing %s:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestRunSelectedExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "E1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Fig. 2") || !strings.Contains(s, "E1 completed") {
+		t.Errorf("E1 output incomplete:\n%s", s)
+	}
+	if strings.Contains(s, "E2:") {
+		t.Error("unselected experiment ran")
+	}
+}
+
+func TestRunMultipleAndCSV(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-run", "E1, E2", "-csv", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 3 { // E1 has 2 tables, E2 has 1
+		t.Errorf("expected >=3 CSV files, got %d", len(entries))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "e1_table1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "task,") {
+		t.Errorf("CSV content wrong: %q", string(data)[:20])
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "E99"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

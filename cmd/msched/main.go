@@ -1,0 +1,194 @@
+// Command msched computes optimal master-slave schedules (Dutot, IPPS
+// 2003) for chains and spiders.
+//
+// Usage:
+//
+//	msched -chain 2,5,3,3 -n 5 [-deadline 20] [-gantt] [-svg out.svg] [-json out.json]
+//	msched -spider "2,5,3,3;1,4" -n 10 [-gantt]
+//	msched -platform platform.json -n 10
+//
+// The chain/spider specs are (c,w) pairs; see cmd/msgen to generate
+// platform files. With -deadline the tool maximises the number of tasks
+// completed by the deadline instead of minimising the makespan.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro"
+	"repro/internal/cli"
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "msched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("msched", flag.ContinueOnError)
+	var (
+		chainSpec  = fs.String("chain", "", "inline chain spec: c1,w1,c2,w2,...")
+		spiderSpec = fs.String("spider", "", "inline spider spec: leg;leg;... (each leg a chain spec)")
+		platPath   = fs.String("platform", "", "platform JSON file (see msgen)")
+		n          = fs.Int("n", 1, "number of tasks")
+		deadline   = fs.Int64("deadline", -1, "maximise tasks completed by this deadline instead of minimising makespan")
+		showGantt  = fs.Bool("gantt", false, "print an ASCII Gantt chart")
+		scale      = fs.Int64("scale", 1, "Gantt time units per character")
+		svgPath    = fs.String("svg", "", "also write an SVG Gantt chart to this file")
+		jsonPath   = fs.String("json", "", "also write the schedule as JSON to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ch, sp, err := resolvePlatform(*chainSpec, *spiderSpec, *platPath)
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case ch != nil:
+		return scheduleChain(out, *ch, *n, *deadline, *showGantt, platform.Time(*scale), *svgPath, *jsonPath)
+	default:
+		return scheduleSpider(out, *sp, *n, *deadline, *showGantt, platform.Time(*scale), *svgPath, *jsonPath)
+	}
+}
+
+// resolvePlatform returns exactly one of chain or spider (forks load as
+// single-node-leg spiders).
+func resolvePlatform(chainSpec, spiderSpec, platPath string) (*platform.Chain, *platform.Spider, error) {
+	given := 0
+	for _, s := range []string{chainSpec, spiderSpec, platPath} {
+		if s != "" {
+			given++
+		}
+	}
+	if given != 1 {
+		return nil, nil, fmt.Errorf("give exactly one of -chain, -spider or -platform")
+	}
+	switch {
+	case chainSpec != "":
+		ch, err := cli.ParseChain(chainSpec)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &ch, nil, nil
+	case spiderSpec != "":
+		sp, err := cli.ParseSpider(spiderSpec)
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, &sp, nil
+	default:
+		dec, err := cli.LoadPlatform(platPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch dec.Kind {
+		case "chain":
+			return dec.Chain, nil, nil
+		case "spider":
+			return nil, dec.Spider, nil
+		default: // fork
+			sp := dec.Fork.Spider()
+			return nil, &sp, nil
+		}
+	}
+}
+
+func scheduleChain(out io.Writer, ch platform.Chain, n int, deadline int64, showGantt bool, scale platform.Time, svgPath, jsonPath string) error {
+	var (
+		s   *sched.ChainSchedule
+		err error
+	)
+	if deadline >= 0 {
+		s, err = repro.ScheduleChainWithin(ch, n, platform.Time(deadline))
+	} else {
+		s, err = repro.ScheduleChain(ch, n)
+	}
+	if err != nil {
+		return err
+	}
+	if err := s.Verify(); err != nil {
+		return fmt.Errorf("internal error: produced an infeasible schedule: %w", err)
+	}
+	fmt.Fprintf(out, "platform: %s\n", ch)
+	if deadline >= 0 {
+		fmt.Fprintf(out, "deadline %d: scheduled %d of %d tasks\n", deadline, s.Len(), n)
+	}
+	fmt.Fprint(out, s)
+	fmt.Fprintf(out, "makespan: %d\n", s.Makespan())
+	if lb, err := repro.ChainLowerBound(ch, s.Len()); err == nil {
+		fmt.Fprintf(out, "steady-state lower bound: %d\n", lb)
+	}
+	if showGantt {
+		fmt.Fprintln(out)
+		fmt.Fprint(out, repro.GanttASCII(s.Intervals(), scale))
+	}
+	if svgPath != "" {
+		if err := os.WriteFile(svgPath, []byte(repro.GanttSVG(s.Intervals(), 8)), 0o644); err != nil {
+			return fmt.Errorf("writing SVG: %w", err)
+		}
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return fmt.Errorf("writing schedule JSON: %w", err)
+		}
+		defer f.Close()
+		return sched.WriteChainSchedule(f, s)
+	}
+	return nil
+}
+
+func scheduleSpider(out io.Writer, sp platform.Spider, n int, deadline int64, showGantt bool, scale platform.Time, svgPath, jsonPath string) error {
+	var (
+		s   *sched.SpiderSchedule
+		err error
+	)
+	if deadline >= 0 {
+		s, err = repro.ScheduleSpiderWithin(sp, n, platform.Time(deadline))
+	} else {
+		s, err = repro.ScheduleSpider(sp, n)
+	}
+	if err != nil {
+		return err
+	}
+	if err := s.Verify(); err != nil {
+		return fmt.Errorf("internal error: produced an infeasible schedule: %w", err)
+	}
+	fmt.Fprintf(out, "platform: %s\n", sp)
+	if deadline >= 0 {
+		fmt.Fprintf(out, "deadline %d: scheduled %d of %d tasks\n", deadline, s.Len(), n)
+	}
+	fmt.Fprint(out, s)
+	fmt.Fprintf(out, "makespan: %d\n", s.Makespan())
+	if lb, err := repro.SpiderLowerBound(sp, s.Len()); err == nil {
+		fmt.Fprintf(out, "steady-state lower bound: %d\n", lb)
+	}
+	if showGantt {
+		fmt.Fprintln(out)
+		fmt.Fprint(out, repro.GanttASCII(s.Intervals(), scale))
+	}
+	if svgPath != "" {
+		if err := os.WriteFile(svgPath, []byte(repro.GanttSVG(s.Intervals(), 8)), 0o644); err != nil {
+			return fmt.Errorf("writing SVG: %w", err)
+		}
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return fmt.Errorf("writing schedule JSON: %w", err)
+		}
+		defer f.Close()
+		return sched.WriteSpiderSchedule(f, s)
+	}
+	return nil
+}

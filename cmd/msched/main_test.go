@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+func TestRunChainInline(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-chain", "2,3,3,5", "-n", "5", "-gantt"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{"makespan: 14", "task 1", "link 1", "steady-state lower bound"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("output missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestRunSpiderInline(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-spider", "2,3,3,5;1,4", "-n", "6"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "spider schedule: 6 tasks") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunDeadlineMode(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-chain", "2,3,3,5", "-n", "9", "-deadline", "14"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "deadline 14: scheduled 5 of 9 tasks") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunPlatformFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := platform.WriteFork(f, platform.NewFork(1, 3, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out bytes.Buffer
+	if err := run([]string{"-platform", path, "-n", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "spider schedule: 4 tasks") {
+		t.Errorf("fork platform not scheduled as spider:\n%s", out.String())
+	}
+}
+
+func TestRunWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	svg := filepath.Join(dir, "g.svg")
+	js := filepath.Join(dir, "s.json")
+	var out bytes.Buffer
+	err := run([]string{"-chain", "2,3,3,5", "-n", "3", "-svg", svg, "-json", js}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svgData, err := os.ReadFile(svg)
+	if err != nil || !strings.HasPrefix(string(svgData), "<svg") {
+		t.Errorf("SVG artifact broken: %v", err)
+	}
+	jf, err := os.Open(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	dec, err := sched.ReadSchedule(jf)
+	if err != nil || dec.Kind != "chain" || dec.Chain.Len() != 3 {
+		t.Errorf("JSON artifact broken: %v %+v", err, dec)
+	}
+}
+
+func TestRunArgumentErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                  // no platform
+		{"-chain", "1,2", "-spider", "1,2"}, // two platforms
+		{"-chain", "0,2", "-n", "1"},        // invalid chain
+		{"-spider", "oops", "-n", "1"},      // unparsable spider
+		{"-platform", "/does/not/exist", "-n", "1"}, // missing file
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Command msgen generates random or named platform instances as tagged
+// JSON for the other tools.
+//
+// Usage:
+//
+//	msgen -kind chain -p 8 -seed 1 -lo 1 -hi 9 -regime bimodal
+//	msgen -kind spider -legs 4 -depth 3
+//	msgen -kind fork -p 6
+//	msgen -scenario volunteer       # named scenarios (see -scenarios)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/cli"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "msgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("msgen", flag.ContinueOnError)
+	var (
+		kind       = fs.String("kind", "chain", "chain | spider | fork")
+		p          = fs.Int("p", 4, "processors (chain) or slaves (fork)")
+		legs       = fs.Int("legs", 3, "legs (spider)")
+		depth      = fs.Int("depth", 2, "max leg depth (spider)")
+		seed       = fs.Int64("seed", 1, "random seed")
+		lo         = fs.Int64("lo", 1, "minimum c/w value")
+		hi         = fs.Int64("hi", 9, "maximum c/w value")
+		regimeName = fs.String("regime", "uniform", "uniform | comm-bound | compute-bound | bimodal")
+		scenario   = fs.String("scenario", "", "emit a named scenario instead of a random instance")
+		listScen   = fs.Bool("scenarios", false, "list named scenarios and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *listScen {
+		chains, spiders, forks := workload.Named()
+		var names []string
+		for n := range chains {
+			names = append(names, n)
+		}
+		for n := range spiders {
+			names = append(names, n)
+		}
+		for n := range forks {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			desc, err := workload.Describe(n)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%-10s %s\n", n, desc)
+		}
+		return nil
+	}
+
+	if *scenario != "" {
+		chains, spiders, forks := workload.Named()
+		if ch, ok := chains[*scenario]; ok {
+			return platform.WriteChain(out, ch)
+		}
+		if sp, ok := spiders[*scenario]; ok {
+			return platform.WriteSpider(out, sp)
+		}
+		if f, ok := forks[*scenario]; ok {
+			return platform.WriteFork(out, f)
+		}
+		return fmt.Errorf("unknown scenario %q (use -scenarios)", *scenario)
+	}
+
+	regime, err := cli.ParseRegime(*regimeName)
+	if err != nil {
+		return err
+	}
+	g, err := platform.NewGenerator(*seed, platform.Time(*lo), platform.Time(*hi), regime)
+	if err != nil {
+		return err
+	}
+	switch *kind {
+	case "chain":
+		return platform.WriteChain(out, g.Chain(*p))
+	case "spider":
+		return platform.WriteSpider(out, g.Spider(*legs, *depth))
+	case "fork":
+		return platform.WriteFork(out, g.Fork(*p))
+	default:
+		return fmt.Errorf("unknown kind %q (want chain, spider or fork)", *kind)
+	}
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func TestGenerateChain(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-kind", "chain", "-p", "5", "-seed", "7"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := platform.Read(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Kind != "chain" || dec.Chain.Len() != 5 {
+		t.Errorf("decoded %+v", dec)
+	}
+}
+
+func TestGenerateSpiderAndFork(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-kind", "spider", "-legs", "4", "-depth", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := platform.Read(&out)
+	if err != nil || dec.Kind != "spider" || dec.Spider.NumLegs() != 4 {
+		t.Errorf("spider: %v %+v", err, dec)
+	}
+
+	out.Reset()
+	if err := run([]string{"-kind", "fork", "-p", "3", "-regime", "bimodal"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	dec, err = platform.Read(&out)
+	if err != nil || dec.Kind != "fork" || dec.Fork.Len() != 3 {
+		t.Errorf("fork: %v %+v", err, dec)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-kind", "chain", "-p", "6", "-seed", "42"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-kind", "chain", "-p", "6", "-seed", "42"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different platforms")
+	}
+}
+
+func TestScenarios(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenarios"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig2", "volunteer", "bus"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("scenario list missing %q", name)
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"-scenario", "fig2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := platform.Read(&out)
+	if err != nil || dec.Kind != "chain" {
+		t.Fatalf("fig2 scenario: %v %+v", err, dec)
+	}
+	if dec.Chain.Work(1) != 3 || dec.Chain.Work(2) != 5 {
+		t.Errorf("fig2 = %v, want w=(3,5)", dec.Chain)
+	}
+
+	out.Reset()
+	if err := run([]string{"-scenario", "volunteer"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if dec, err := platform.Read(&out); err != nil || dec.Kind != "spider" {
+		t.Errorf("volunteer scenario: %v", err)
+	}
+
+	out.Reset()
+	if err := run([]string{"-scenario", "star"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if dec, err := platform.Read(&out); err != nil || dec.Kind != "fork" {
+		t.Errorf("star scenario: %v", err)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-kind", "ring"},
+		{"-regime", "zipf"},
+		{"-scenario", "nope"},
+		{"-lo", "0"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

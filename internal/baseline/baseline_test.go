@@ -1,0 +1,152 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/spider"
+)
+
+func fig2Chain() platform.Chain { return platform.NewChain(2, 5, 3, 3) }
+
+func TestChainHeuristicsProduceFeasibleSchedules(t *testing.T) {
+	g := platform.MustGenerator(1, 1, 12, platform.Bimodal)
+	scheds := []ChainScheduler{ForwardGreedy{}, RoundRobin{}, MasterOnly{}}
+	for trial := 0; trial < 8; trial++ {
+		ch := g.Chain(1 + trial%5)
+		n := 5 + 9*trial
+		for _, sc := range scheds {
+			s, err := sc.Schedule(ch, n)
+			if err != nil {
+				t.Fatalf("%s: %v", sc.Name(), err)
+			}
+			if s.Len() != n {
+				t.Fatalf("%s scheduled %d, want %d", sc.Name(), s.Len(), n)
+			}
+			if err := s.Verify(); err != nil {
+				t.Fatalf("%s on %v: infeasible: %v", sc.Name(), ch, err)
+			}
+		}
+	}
+}
+
+func TestChainHeuristicsRejectBadInput(t *testing.T) {
+	for _, sc := range []ChainScheduler{ForwardGreedy{}, RoundRobin{}, MasterOnly{}} {
+		if _, err := sc.Schedule(platform.Chain{}, 3); err == nil {
+			t.Errorf("%s accepted empty chain", sc.Name())
+		}
+		if _, err := sc.Schedule(fig2Chain(), -1); err == nil {
+			t.Errorf("%s accepted negative n", sc.Name())
+		}
+	}
+}
+
+func TestMasterOnlyMatchesClosedForm(t *testing.T) {
+	ch := fig2Chain()
+	for n := 1; n <= 6; n++ {
+		s, err := MasterOnly{}.Schedule(ch, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := ch.MasterOnlyMakespan(n); s.Makespan() != want {
+			t.Errorf("n=%d: makespan %d, want T∞=%d", n, s.Makespan(), want)
+		}
+		counts := s.Counts()
+		if counts[0] != n {
+			t.Errorf("n=%d: counts %v", n, counts)
+		}
+	}
+}
+
+func TestForwardGreedyNeverWorseThanMasterOnly(t *testing.T) {
+	// Greedy's first option is always processor 1, so it can only
+	// improve on the master-only schedule.
+	g := platform.MustGenerator(9, 1, 10, platform.Uniform)
+	for trial := 0; trial < 10; trial++ {
+		ch := g.Chain(2 + trial%4)
+		n := 8 + trial
+		greedy, err := ForwardGreedy{}.Schedule(ch, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mo := ch.MasterOnlyMakespan(n); greedy.Makespan() > mo {
+			t.Errorf("%v n=%d: greedy %d > master-only %d", ch, n, greedy.Makespan(), mo)
+		}
+	}
+}
+
+func TestOptimalNeverWorseThanHeuristics(t *testing.T) {
+	// Theorem 1 in action: the backward algorithm dominates every
+	// forward heuristic on every instance.
+	g := platform.MustGenerator(33, 1, 15, platform.Bimodal)
+	scheds := []ChainScheduler{ForwardGreedy{}, RoundRobin{}, MasterOnly{}}
+	for trial := 0; trial < 12; trial++ {
+		ch := g.Chain(1 + trial%5)
+		n := 4 + 3*trial
+		optimal, err := core.Schedule(ch, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sc := range scheds {
+			s, err := sc.Schedule(ch, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if optimal.Makespan() > s.Makespan() {
+				t.Errorf("%v n=%d: optimal %d beaten by %s %d",
+					ch, n, optimal.Makespan(), sc.Name(), s.Makespan())
+			}
+		}
+	}
+}
+
+func TestSpiderHeuristicsFeasibleAndDominatedByOptimal(t *testing.T) {
+	g := platform.MustGenerator(71, 1, 9, platform.Uniform)
+	scheds := []SpiderScheduler{SpiderGreedy{}, SpiderRoundRobin{}}
+	for trial := 0; trial < 6; trial++ {
+		sp := g.Spider(2+trial%3, 2)
+		n := 6 + 4*trial
+		mk, _, err := spider.MinMakespan(sp, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sc := range scheds {
+			s, err := sc.Schedule(sp, n)
+			if err != nil {
+				t.Fatalf("%s: %v", sc.Name(), err)
+			}
+			if s.Len() != n {
+				t.Fatalf("%s scheduled %d, want %d", sc.Name(), s.Len(), n)
+			}
+			if err := s.Verify(); err != nil {
+				t.Fatalf("%s on %v: infeasible: %v", sc.Name(), sp, err)
+			}
+			if mk > s.Makespan() {
+				t.Errorf("%v n=%d: optimal %d beaten by %s %d", sp, n, mk, sc.Name(), s.Makespan())
+			}
+		}
+	}
+}
+
+func TestSpiderHeuristicsRejectBadInput(t *testing.T) {
+	for _, sc := range []SpiderScheduler{SpiderGreedy{}, SpiderRoundRobin{}} {
+		if _, err := sc.Schedule(platform.Spider{}, 3); err == nil {
+			t.Errorf("%s accepted empty spider", sc.Name())
+		}
+		sp := platform.NewSpider(fig2Chain())
+		if _, err := sc.Schedule(sp, -1); err == nil {
+			t.Errorf("%s accepted negative n", sc.Name())
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (ForwardGreedy{}).Name() != "forward-greedy" ||
+		(RoundRobin{}).Name() != "round-robin" ||
+		(MasterOnly{}).Name() != "master-only" ||
+		(SpiderGreedy{}).Name() != "forward-greedy" ||
+		(SpiderRoundRobin{}).Name() != "round-robin" {
+		t.Error("unexpected scheduler names")
+	}
+}

@@ -1,0 +1,215 @@
+// Package core implements the paper's primary contribution: the optimal
+// backward greedy algorithm for scheduling n identical independent tasks
+// on a chain of heterogeneous processors (Dutot, IPPS 2003, §3, Fig. 3),
+// and its time-limited variant used by the spider algorithm (§7).
+//
+// # The backward construction
+//
+// The algorithm schedules tasks from the last one to the first one,
+// anchored at a horizon: T∞ = c_1 + (n−1)·max(w_1, c_1) + w_1, the
+// makespan of the trivial all-on-processor-1 schedule. Two vectors of
+// state are maintained:
+//
+//   - the hull h_k: the earliest time from which link k may no longer be
+//     used (everything at or after h_k on link k is already committed to
+//     later tasks);
+//   - the occupancy o_k: the time from which processor k is committed.
+//
+// For each task (taken backward) and every target processor k, the
+// candidate communication vector places the task as late as possible:
+//
+//	kC_k = min(o_k − w_k, h_k) − c_k
+//	kC_j = min(kC_{j+1}, h_j) − c_j      for j = k−1 … 1
+//
+// The greatest candidate under the Definition 3 order (package sched) is
+// kept: it maximises the first emission time and, on exact prefix ties,
+// prefers the shallower processor. The task executes back-to-back with
+// the processor's occupancy, T = o_P − w_P, and the state is updated
+// (o_P = T, h_j = C_j for j ≤ P). A final shift of −C_1^1 sets the
+// schedule start to time 0. Theorem 1 proves the resulting makespan
+// optimal; the complexity is O(n·p²).
+//
+// # The deadline variant
+//
+// ScheduleWithin replaces T∞ by a deadline Tlim and keeps scheduling
+// backward until either n tasks are placed or the next task's first
+// emission would be negative. The result maximises the number of tasks
+// completed by Tlim (used per-leg by the spider algorithm of §7, and — by
+// binary search on Tlim — an alternative route to the optimal makespan).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// Schedule returns a makespan-optimal schedule of n tasks on the chain
+// (Theorem 1), normalised to start at time 0.
+func Schedule(ch platform.Chain, n int) (*sched.ChainSchedule, error) {
+	if err := ch.Validate(); err != nil {
+		return nil, err
+	}
+	s, _, err := run(ch, n, ch.MasterOnlyMakespan(n), false)
+	if err != nil {
+		return nil, err
+	}
+	shiftToZero(s)
+	return s, nil
+}
+
+// ScheduleWithin returns a schedule of as many tasks as possible — at
+// most n — completing within [0, Tlim]. Times are absolute: the last
+// task finishes at Tlim exactly when the deadline is tight. The schedule
+// is NOT re-shifted, so the spider algorithm can splice legs together.
+func ScheduleWithin(ch platform.Chain, n int, tlim platform.Time) (*sched.ChainSchedule, error) {
+	if tlim < 0 {
+		return nil, fmt.Errorf("core: negative deadline %d", tlim)
+	}
+	s, _, err := run(ch, n, tlim, true)
+	return s, err
+}
+
+// Trace records, for every scheduled task, the candidate communication
+// vectors the algorithm weighed (index k-1 holds the candidate targeting
+// processor k) and the index of the chosen one. Tasks appear in emission
+// order, matching the returned schedule; candidate times are absolute
+// (pre-shift). Traces feed the Lemma 1/Lemma 2 structural checks and the
+// figure regeneration.
+type Trace struct {
+	Horizon platform.Time
+	// Candidates[i][k-1] is the candidate vector of task i+1 (emission
+	// order) targeting processor k.
+	Candidates [][][]platform.Time
+	// Chosen[i] is the 1-based processor picked for task i+1.
+	Chosen []int
+}
+
+// ScheduleTraced is Schedule plus the decision trace. The schedule is
+// shifted to start at 0 but the trace keeps absolute (pre-shift) times.
+func ScheduleTraced(ch platform.Chain, n int) (*sched.ChainSchedule, *Trace, error) {
+	if err := ch.Validate(); err != nil {
+		return nil, nil, err
+	}
+	s, tr, err := run(ch, n, ch.MasterOnlyMakespan(n), false)
+	if err != nil {
+		return nil, nil, err
+	}
+	shiftToZero(s)
+	return s, tr, nil
+}
+
+// run performs the backward construction toward the given horizon.
+// In limited mode it stops early when a task would be emitted before
+// time 0; otherwise it schedules exactly n tasks.
+func run(ch platform.Chain, n int, horizon platform.Time, limited bool) (*sched.ChainSchedule, *Trace, error) {
+	if err := ch.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if n < 0 {
+		return nil, nil, errors.New("core: negative task count")
+	}
+	p := ch.Len()
+	e := newEngine(ch, horizon)
+	tr := &Trace{Horizon: horizon}
+
+	// Tasks are produced backward (task n first); prepend-by-reverse at
+	// the end. In limited mode we may stop with fewer than n tasks.
+	backward := make([]sched.ChainTask, 0, n)
+	for i := 0; i < n; i++ {
+		task, cands := e.placeNext()
+		if limited && task.Comms[0] < 0 {
+			// The task does not fit before time 0: undo nothing (state
+			// updates happen only on commit below) and stop.
+			break
+		}
+		e.commit(task)
+		backward = append(backward, task)
+		tr.Candidates = append(tr.Candidates, cands)
+		tr.Chosen = append(tr.Chosen, task.Proc)
+	}
+
+	// Reverse into emission order.
+	s := &sched.ChainSchedule{Chain: ch, Tasks: make([]sched.ChainTask, len(backward))}
+	for i, t := range backward {
+		s.Tasks[len(backward)-1-i] = t
+	}
+	reverseTrace(tr)
+	if p > 0 && len(s.Tasks) > 1 {
+		// The backward construction emits earlier tasks earlier by
+		// design; Normalize is a no-op kept as a guard.
+		s.Normalize()
+	}
+	return s, tr, nil
+}
+
+func reverseTrace(tr *Trace) {
+	for i, j := 0, len(tr.Chosen)-1; i < j; i, j = i+1, j-1 {
+		tr.Chosen[i], tr.Chosen[j] = tr.Chosen[j], tr.Chosen[i]
+		tr.Candidates[i], tr.Candidates[j] = tr.Candidates[j], tr.Candidates[i]
+	}
+}
+
+func shiftToZero(s *sched.ChainSchedule) {
+	if len(s.Tasks) == 0 {
+		return
+	}
+	s.Shift(-s.Tasks[0].Comms[0])
+}
+
+// engine holds the backward construction state.
+type engine struct {
+	ch platform.Chain
+	h  []platform.Time // h[k] = hull of link k, 1-based
+	o  []platform.Time // o[k] = occupancy of processor k, 1-based
+}
+
+func newEngine(ch platform.Chain, horizon platform.Time) *engine {
+	p := ch.Len()
+	e := &engine{
+		ch: ch,
+		h:  make([]platform.Time, p+1),
+		o:  make([]platform.Time, p+1),
+	}
+	for k := 1; k <= p; k++ {
+		e.h[k] = horizon
+		e.o[k] = horizon
+	}
+	return e
+}
+
+// placeNext computes the p candidate communication vectors for the next
+// (backward) task and returns the chosen assignment without mutating the
+// engine state; commit applies it. All times are absolute.
+func (e *engine) placeNext() (sched.ChainTask, [][]platform.Time) {
+	p := e.ch.Len()
+	cands := make([][]platform.Time, p)
+	for k := 1; k <= p; k++ {
+		v := make([]platform.Time, k)
+		v[k-1] = min(e.o[k]-e.ch.Work(k), e.h[k]) - e.ch.Comm(k)
+		for j := k - 1; j >= 1; j-- {
+			v[j-1] = min(v[j], e.h[j]) - e.ch.Comm(j)
+		}
+		cands[k-1] = v
+	}
+	best := sched.VecMaxIndex(cands)
+	proc := best + 1
+	task := sched.ChainTask{
+		Proc:  proc,
+		Start: e.o[proc] - e.ch.Work(proc),
+		Comms: append([]platform.Time(nil), cands[best]...),
+	}
+	return task, cands
+}
+
+// commit applies a placement returned by placeNext: the processor's
+// occupancy moves to the task's start and every link up to the processor
+// is hulled at the task's emission.
+func (e *engine) commit(t sched.ChainTask) {
+	e.o[t.Proc] = t.Start
+	for k := 1; k <= t.Proc; k++ {
+		e.h[k] = t.Comms[k-1]
+	}
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/opt"
+	"repro/internal/platform"
+)
+
+func fig2Chain() platform.Chain { return platform.NewChain(2, 5, 3, 3) }
+
+func TestScheduleSingleTaskPicksBestSoloProcessor(t *testing.T) {
+	cases := []struct {
+		name  string
+		chain platform.Chain
+		proc  int
+		mk    platform.Time
+	}{
+		{"near wins", platform.NewChain(2, 5, 3, 3), 1, 7},
+		{"far wins", platform.NewChain(2, 50, 1, 1), 2, 4},
+		{"single", platform.NewChain(4, 6), 1, 10},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := Schedule(tc.chain, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Verify(); err != nil {
+				t.Fatalf("infeasible: %v", err)
+			}
+			if s.Tasks[0].Proc != tc.proc {
+				t.Errorf("proc = %d, want %d", s.Tasks[0].Proc, tc.proc)
+			}
+			if s.Makespan() != tc.mk {
+				t.Errorf("makespan = %d, want %d", s.Makespan(), tc.mk)
+			}
+		})
+	}
+}
+
+func TestScheduleTwoTasksHandChecked(t *testing.T) {
+	// Hand-run of the backward construction on the fixture chain, n=2
+	// (T∞=12): task 2 lands on proc 1 (candidate [5] beats [4,6]),
+	// task 1 on proc 2 (candidate [3,6] beats [0]). After shifting by
+	// −3: task1 = proc2, comms (0,3), start 6; task2 = proc1, comm 2,
+	// start 4; makespan 9, matching the brute-force optimum.
+	s, err := Schedule(fig2Chain(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	t1, t2 := s.Tasks[0], s.Tasks[1]
+	if t1.Proc != 2 || t1.Comms[0] != 0 || t1.Comms[1] != 3 || t1.Start != 6 {
+		t.Errorf("task1 = %+v, want proc2 comms [0 3] start 6", t1)
+	}
+	if t2.Proc != 1 || t2.Comms[0] != 2 || t2.Start != 4 {
+		t.Errorf("task2 = %+v, want proc1 comms [2] start 4", t2)
+	}
+	if s.Makespan() != 9 {
+		t.Errorf("makespan = %d, want 9", s.Makespan())
+	}
+}
+
+func TestScheduleStartsAtZero(t *testing.T) {
+	s, err := Schedule(fig2Chain(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Tasks[0].Comms[0] != 0 {
+		t.Errorf("first emission at %d, want 0", s.Tasks[0].Comms[0])
+	}
+}
+
+func TestScheduleEmissionOrderIsSorted(t *testing.T) {
+	s, err := Schedule(platform.NewChain(1, 3, 2, 2, 1, 4), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(s.Tasks); i++ {
+		if s.Tasks[i-1].Comms[0] > s.Tasks[i].Comms[0] {
+			t.Fatalf("emissions out of order at task %d: %d then %d",
+				i+1, s.Tasks[i-1].Comms[0], s.Tasks[i].Comms[0])
+		}
+	}
+}
+
+func TestScheduleDegenerateInputs(t *testing.T) {
+	if _, err := Schedule(platform.Chain{}, 3); err == nil {
+		t.Error("empty chain accepted")
+	}
+	if _, err := Schedule(fig2Chain(), -1); err == nil {
+		t.Error("negative n accepted")
+	}
+	s, err := Schedule(fig2Chain(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 || s.Makespan() != 0 {
+		t.Errorf("n=0 schedule: len %d makespan %d", s.Len(), s.Makespan())
+	}
+}
+
+func TestScheduleSingleProcessorMatchesClosedForm(t *testing.T) {
+	for _, ch := range []platform.Chain{
+		platform.NewChain(2, 5),
+		platform.NewChain(5, 2),
+		platform.NewChain(3, 3),
+	} {
+		for n := 1; n <= 6; n++ {
+			s, err := Schedule(ch, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Verify(); err != nil {
+				t.Fatalf("infeasible: %v", err)
+			}
+			if want := ch.MasterOnlyMakespan(n); s.Makespan() != want {
+				t.Errorf("%v n=%d: makespan %d, want %d", ch, n, s.Makespan(), want)
+			}
+		}
+	}
+}
+
+// TestTheorem1Exhaustive validates optimality (Theorem 1) against the
+// exhaustive oracle on a dense grid of small chains.
+func TestTheorem1Exhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive validation skipped in -short mode")
+	}
+	checked := 0
+	for _, p := range []int{1, 2} {
+		platform.EnumerateChains(p, 3, func(ch platform.Chain) bool {
+			for n := 1; n <= 4; n++ {
+				s, err := Schedule(ch, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := s.Verify(); err != nil {
+					t.Fatalf("%v n=%d: infeasible: %v", ch, n, err)
+				}
+				_, want, err := opt.BruteChain(ch, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := s.Makespan(); got != want {
+					t.Fatalf("%v n=%d: algorithm %d, optimum %d", ch, n, got, want)
+				}
+				checked++
+			}
+			return true
+		})
+	}
+	if checked == 0 {
+		t.Fatal("no instances checked")
+	}
+}
+
+// TestTheorem1Random spot-checks optimality on random wider chains.
+func TestTheorem1Random(t *testing.T) {
+	for _, reg := range []platform.Heterogeneity{platform.Uniform, platform.CommBound, platform.ComputeBound, platform.Bimodal} {
+		g := platform.MustGenerator(1234+int64(reg), 1, 6, reg)
+		for trial := 0; trial < 25; trial++ {
+			p := 1 + trial%3
+			n := 1 + trial%5
+			ch := g.Chain(p)
+			s, err := Schedule(ch, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Verify(); err != nil {
+				t.Fatalf("%v n=%d (%v): infeasible: %v", ch, n, reg, err)
+			}
+			_, want, err := opt.BruteChain(ch, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := s.Makespan(); got != want {
+				t.Fatalf("%v n=%d (%v): algorithm %d, optimum %d", ch, n, reg, got, want)
+			}
+		}
+	}
+}
+
+func TestScheduleFeasibleOnLargerRandomInstances(t *testing.T) {
+	g := platform.MustGenerator(77, 1, 20, platform.Bimodal)
+	for trial := 0; trial < 10; trial++ {
+		ch := g.Chain(2 + trial)
+		n := 10 + 7*trial
+		s, err := Schedule(ch, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Len() != n {
+			t.Fatalf("scheduled %d tasks, want %d", s.Len(), n)
+		}
+		if err := s.Verify(); err != nil {
+			t.Fatalf("p=%d n=%d: infeasible: %v", ch.Len(), n, err)
+		}
+		if ub := ch.MasterOnlyMakespan(n); s.Makespan() > ub {
+			t.Errorf("makespan %d exceeds master-only bound %d", s.Makespan(), ub)
+		}
+	}
+}
+
+func TestMakespanMonotoneInTaskCount(t *testing.T) {
+	g := platform.MustGenerator(5, 1, 9, platform.Uniform)
+	ch := g.Chain(4)
+	prev := platform.Time(0)
+	for n := 1; n <= 30; n++ {
+		s, err := Schedule(ch, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mk := s.Makespan(); mk < prev {
+			t.Fatalf("makespan decreased from %d to %d at n=%d", prev, mk, n)
+		} else {
+			prev = mk
+		}
+	}
+}
+
+func TestExtendingChainNeverHurts(t *testing.T) {
+	// Appending a processor to the tail can only help (the algorithm may
+	// ignore it), so the optimal makespan must not increase.
+	g := platform.MustGenerator(6, 1, 9, platform.Uniform)
+	base := g.Chain(3)
+	n := 12
+	s, err := Schedule(base, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseMk := s.Makespan()
+	for trial := 0; trial < 5; trial++ {
+		ext := platform.Chain{Nodes: append(append([]platform.Node(nil), base.Nodes...), g.Node())}
+		s, err := Schedule(ext, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Verify(); err != nil {
+			t.Fatalf("infeasible: %v", err)
+		}
+		if s.Makespan() > baseMk {
+			t.Errorf("extended chain makespan %d > base %d", s.Makespan(), baseMk)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// CheckLemma1 verifies the no-crossing property (Lemma 1, Fig. 4) on a
+// decision trace: for every task and every pair of candidate vectors
+// kC ≺ lC, every pair of suffixes starting at a common link q ≤ min(k,l)
+// is ordered the same way. A violation would mean two candidate vectors
+// "cross", which the paper proves impossible.
+func CheckLemma1(tr *Trace) error {
+	for i, cands := range tr.Candidates {
+		for k := 1; k <= len(cands); k++ {
+			for l := 1; l <= len(cands); l++ {
+				if k == l {
+					continue
+				}
+				a, b := cands[k-1], cands[l-1]
+				if !sched.VecLess(a, b) {
+					continue
+				}
+				for q := 1; q <= min(k, l); q++ {
+					if !sched.VecLess(a[q-1:], b[q-1:]) {
+						return fmt.Errorf("core: lemma 1 violated at task %d: %dC=%v ≺ %dC=%v but suffixes from link %d are not ordered",
+							i+1, k, a, l, b, q)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckLemma2 verifies the sub-chain projection property (Lemma 2): the
+// tasks that the full-chain schedule sends past processor 1 form, after
+// dropping their first hop and shifting time, exactly the schedule the
+// algorithm produces on the sub-chain (c_2..c_p, w_2..w_p) for that many
+// tasks.
+func CheckLemma2(ch platform.Chain, n int) error {
+	if ch.Len() < 2 {
+		return fmt.Errorf("core: lemma 2 needs p ≥ 2, chain has %d", ch.Len())
+	}
+	full, err := Schedule(ch, n)
+	if err != nil {
+		return err
+	}
+	// Project: tasks with P(i) ≥ 2, dropping the first hop.
+	var projected []sched.ChainTask
+	for _, t := range full.Tasks {
+		if t.Proc < 2 {
+			continue
+		}
+		projected = append(projected, sched.ChainTask{
+			Proc:  t.Proc - 1,
+			Start: t.Start,
+			Comms: append([]platform.Time(nil), t.Comms[1:]...),
+		})
+	}
+	sub, err := Schedule(ch.Sub(2), len(projected))
+	if err != nil {
+		return err
+	}
+	if sub.Len() != len(projected) {
+		return fmt.Errorf("core: lemma 2: sub-chain scheduled %d tasks, projection has %d", sub.Len(), len(projected))
+	}
+	if len(projected) == 0 {
+		return nil
+	}
+	// Both sides are compared modulo a global time shift: anchor on the
+	// first projected task's first remaining emission (the paper's
+	// Tshift = min C_2^i).
+	shift := projected[0].Comms[0] - sub.Tasks[0].Comms[0]
+	for i := range projected {
+		got, want := sub.Tasks[i], projected[i]
+		if got.Proc != want.Proc {
+			return fmt.Errorf("core: lemma 2: task %d on sub-chain proc %d, projection has %d", i+1, got.Proc, want.Proc)
+		}
+		if got.Start+shift != want.Start {
+			return fmt.Errorf("core: lemma 2: task %d starts at %d (shifted %d), projection has %d",
+				i+1, got.Start, got.Start+shift, want.Start)
+		}
+		for q := range got.Comms {
+			if got.Comms[q]+shift != want.Comms[q] {
+				return fmt.Errorf("core: lemma 2: task %d hop %d at %d (shifted %d), projection has %d",
+					i+1, q+2, got.Comms[q], got.Comms[q]+shift, want.Comms[q])
+			}
+		}
+	}
+	return nil
+}

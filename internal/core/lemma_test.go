@@ -1,0 +1,116 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+func TestTraceShapeAndChosenConsistency(t *testing.T) {
+	ch := fig2Chain()
+	s, tr, err := ScheduleTraced(ch, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Candidates) != 4 || len(tr.Chosen) != 4 {
+		t.Fatalf("trace for %d tasks has %d/%d entries", 4, len(tr.Candidates), len(tr.Chosen))
+	}
+	if tr.Horizon != ch.MasterOnlyMakespan(4) {
+		t.Errorf("horizon = %d, want %d", tr.Horizon, ch.MasterOnlyMakespan(4))
+	}
+	for i, cands := range tr.Candidates {
+		if len(cands) != ch.Len() {
+			t.Fatalf("task %d has %d candidates, want %d", i+1, len(cands), ch.Len())
+		}
+		for k, v := range cands {
+			if len(v) != k+1 {
+				t.Errorf("task %d candidate for proc %d has length %d", i+1, k+1, len(v))
+			}
+		}
+		if tr.Chosen[i] != s.Tasks[i].Proc {
+			t.Errorf("task %d chosen %d but schedule says %d", i+1, tr.Chosen[i], s.Tasks[i].Proc)
+		}
+		// The chosen candidate is the greatest.
+		if best := sched.VecMaxIndex(cands); best+1 != tr.Chosen[i] {
+			t.Errorf("task %d: VecMaxIndex %d != chosen %d", i+1, best+1, tr.Chosen[i])
+		}
+	}
+}
+
+func TestLemma1OnExhaustiveSmallChains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive validation skipped in -short mode")
+	}
+	platform.EnumerateChains(2, 3, func(ch platform.Chain) bool {
+		_, tr, err := ScheduleTraced(ch, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckLemma1(tr); err != nil {
+			t.Fatalf("%v: %v", ch, err)
+		}
+		return true
+	})
+}
+
+func TestLemma1OnRandomDeepChains(t *testing.T) {
+	g := platform.MustGenerator(31, 1, 12, platform.Bimodal)
+	for trial := 0; trial < 15; trial++ {
+		ch := g.Chain(2 + trial%5)
+		_, tr, err := ScheduleTraced(ch, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckLemma1(tr); err != nil {
+			t.Fatalf("%v: %v", ch, err)
+		}
+	}
+}
+
+func TestLemma1DetectsCrossing(t *testing.T) {
+	// A fabricated trace where candidate vectors cross: the processor-2
+	// candidate [3,9] precedes the processor-3 candidate [4,1,0] on the
+	// full vectors (3 < 4), but their suffixes from link 2 — [9] vs
+	// [1,0] — are ordered the other way. The real algorithm never
+	// produces this (Lemma 1); the checker must flag it.
+	tr := &Trace{
+		Candidates: [][][]platform.Time{{{5}, {3, 9}, {4, 1, 0}}},
+		Chosen:     []int{1},
+	}
+	err := CheckLemma1(tr)
+	if err == nil || !strings.Contains(err.Error(), "lemma 1") {
+		t.Fatalf("crossing not detected: %v", err)
+	}
+}
+
+func TestLemma2OnExhaustiveSmallChains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive validation skipped in -short mode")
+	}
+	platform.EnumerateChains(2, 3, func(ch platform.Chain) bool {
+		for n := 1; n <= 5; n++ {
+			if err := CheckLemma2(ch, n); err != nil {
+				t.Fatalf("%v n=%d: %v", ch, n, err)
+			}
+		}
+		return true
+	})
+}
+
+func TestLemma2OnRandomDeepChains(t *testing.T) {
+	g := platform.MustGenerator(47, 1, 10, platform.Uniform)
+	for trial := 0; trial < 10; trial++ {
+		ch := g.Chain(3 + trial%3)
+		if err := CheckLemma2(ch, 9+trial); err != nil {
+			t.Fatalf("%v: %v", ch, err)
+		}
+	}
+}
+
+func TestLemma2RequiresTwoProcessors(t *testing.T) {
+	if err := CheckLemma2(platform.NewChain(1, 1), 3); err == nil {
+		t.Error("p=1 accepted")
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/opt"
+	"repro/internal/platform"
+)
+
+func TestScheduleWithinRejectsNegativeDeadline(t *testing.T) {
+	if _, err := ScheduleWithin(fig2Chain(), 3, -1); err == nil {
+		t.Error("negative deadline accepted")
+	}
+}
+
+func TestScheduleWithinZeroDeadline(t *testing.T) {
+	s, err := ScheduleWithin(fig2Chain(), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Errorf("deadline 0 scheduled %d tasks", s.Len())
+	}
+}
+
+func TestScheduleWithinHandChecked(t *testing.T) {
+	ch := fig2Chain()
+	// Optimal makespans on the fixture chain: n=1 -> 7, n=2 -> 9.
+	cases := []struct {
+		deadline platform.Time
+		want     int
+	}{
+		{6, 0}, {7, 1}, {8, 1}, {9, 2}, {10, 2},
+	}
+	for _, tc := range cases {
+		s, err := ScheduleWithin(ch, 5, tc.deadline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Len() != tc.want {
+			t.Errorf("deadline %d: scheduled %d, want %d", tc.deadline, s.Len(), tc.want)
+		}
+		if err := s.Verify(); err != nil {
+			t.Errorf("deadline %d: infeasible: %v", tc.deadline, err)
+		}
+		if s.Makespan() > tc.deadline {
+			t.Errorf("deadline %d: makespan %d overruns", tc.deadline, s.Makespan())
+		}
+	}
+}
+
+func TestScheduleWithinStopsAtN(t *testing.T) {
+	s, err := ScheduleWithin(fig2Chain(), 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Errorf("scheduled %d tasks, want the requested 2", s.Len())
+	}
+}
+
+// TestScheduleWithinMaximisesTasks validates the deadline variant against
+// the exhaustive oracle: it must place exactly the maximum feasible
+// number of tasks for every deadline.
+func TestScheduleWithinMaximisesTasks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive validation skipped in -short mode")
+	}
+	platform.EnumerateChains(2, 2, func(ch platform.Chain) bool {
+		for _, deadline := range []platform.Time{0, 3, 5, 7, 9, 12} {
+			s, err := ScheduleWithin(ch, 4, deadline)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Verify(); err != nil {
+				t.Fatalf("%v deadline %d: infeasible: %v", ch, deadline, err)
+			}
+			if s.Makespan() > deadline {
+				t.Fatalf("%v deadline %d: makespan %d overruns", ch, deadline, s.Makespan())
+			}
+			want, err := opt.BruteChainMaxTasks(ch, 4, deadline)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Len() != want {
+				t.Fatalf("%v deadline %d: scheduled %d, optimum %d", ch, deadline, s.Len(), want)
+			}
+		}
+		return true
+	})
+}
+
+// TestScheduleWithinAtOptimalMakespanFitsAll cross-checks the two entry
+// points: with the deadline set to the optimal makespan for n tasks, the
+// deadline variant must fit all n.
+func TestScheduleWithinAtOptimalMakespanFitsAll(t *testing.T) {
+	g := platform.MustGenerator(21, 1, 8, platform.Uniform)
+	for trial := 0; trial < 20; trial++ {
+		ch := g.Chain(1 + trial%4)
+		n := 1 + trial%8
+		s, err := Schedule(ch, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		within, err := ScheduleWithin(ch, n, s.Makespan())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if within.Len() != n {
+			t.Fatalf("%v n=%d: deadline=optimal makespan %d fits only %d tasks",
+				ch, n, s.Makespan(), within.Len())
+		}
+		// One unit tighter must fit fewer (the optimum is tight).
+		if s.Makespan() > 0 {
+			tighter, err := ScheduleWithin(ch, n, s.Makespan()-1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tighter.Len() >= n {
+				t.Fatalf("%v n=%d: deadline %d still fits %d tasks",
+					ch, n, s.Makespan()-1, tighter.Len())
+			}
+		}
+	}
+}
+
+func TestScheduleWithinTightDeadlineEndsAtDeadline(t *testing.T) {
+	// With the deadline equal to the optimal makespan the backward
+	// construction anchors the last task at the deadline exactly.
+	ch := fig2Chain()
+	s, err := ScheduleWithin(ch, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("scheduled %d, want 2", s.Len())
+	}
+	if s.Makespan() != 9 {
+		t.Errorf("makespan %d, want exactly 9", s.Makespan())
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/opt"
+	"repro/internal/platform"
+)
+
+// tinyInstance is a quick.Generator for chain instances small enough for
+// the exhaustive oracle.
+type tinyInstance struct {
+	Chain platform.Chain
+	N     int
+}
+
+// Generate implements quick.Generator.
+func (tinyInstance) Generate(r *rand.Rand, _ int) reflect.Value {
+	p := 1 + r.Intn(3)
+	nodes := make([]platform.Node, p)
+	for i := range nodes {
+		nodes[i] = platform.Node{
+			Comm: platform.Time(1 + r.Intn(6)),
+			Work: platform.Time(1 + r.Intn(6)),
+		}
+	}
+	return reflect.ValueOf(tinyInstance{
+		Chain: platform.Chain{Nodes: nodes},
+		N:     1 + r.Intn(5),
+	})
+}
+
+// TestQuickTheorem1 is the property-based form of Theorem 1: on random
+// tiny instances the backward algorithm is feasible and matches the
+// exhaustive optimum.
+func TestQuickTheorem1(t *testing.T) {
+	prop := func(in tinyInstance) bool {
+		s, err := Schedule(in.Chain, in.N)
+		if err != nil {
+			return false
+		}
+		if s.Verify() != nil {
+			return false
+		}
+		_, want, err := opt.BruteChain(in.Chain, in.N)
+		if err != nil {
+			return false
+		}
+		return s.Makespan() == want
+	}
+	cfg := &quick.Config{MaxCount: 120}
+	if testing.Short() {
+		cfg.MaxCount = 25
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDeadlineConsistency: for random tiny instances and random
+// deadlines, the deadline variant fits exactly the number of tasks whose
+// optimal makespan is within the deadline, and the produced schedule
+// meets it.
+func TestQuickDeadlineConsistency(t *testing.T) {
+	prop := func(in tinyInstance, rawDeadline uint16) bool {
+		deadline := platform.Time(rawDeadline % 40)
+		s, err := ScheduleWithin(in.Chain, in.N, deadline)
+		if err != nil || s.Verify() != nil || s.Makespan() > deadline {
+			return false
+		}
+		want, err := opt.BruteChainMaxTasks(in.Chain, in.N, deadline)
+		if err != nil {
+			return false
+		}
+		return s.Len() == want
+	}
+	cfg := &quick.Config{MaxCount: 80}
+	if testing.Short() {
+		cfg.MaxCount = 20
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickScheduleDeterminism: the algorithm is a pure function of its
+// inputs.
+func TestQuickScheduleDeterminism(t *testing.T) {
+	prop := func(in tinyInstance) bool {
+		a, err := Schedule(in.Chain, in.N)
+		if err != nil {
+			return false
+		}
+		b, err := Schedule(in.Chain, in.N)
+		if err != nil {
+			return false
+		}
+		if a.Len() != b.Len() {
+			return false
+		}
+		for i := range a.Tasks {
+			if a.Tasks[i].Proc != b.Tasks[i].Proc || a.Tasks[i].Start != b.Tasks[i].Start {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

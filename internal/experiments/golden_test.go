@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gantt"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// TestFig2GoldenReconstruction pins the reproduction of the paper's
+// worked example to the numbers printed in the paper itself:
+//
+//   - Fig. 2 shows a schedule on the two-processor chain whose Fig. 7
+//     transformation (at the deadline) produces single-task slaves with
+//     communication time 2 everywhere and processing times
+//     {12, 10, 8, 6, 3};
+//   - the text states "the task that was scheduled on the second
+//     processor corresponds to the node with processing time 8".
+//
+// Those values identify the chain as c=(2,3), w=(3,5) with n=5 and the
+// optimal makespan Tlim=14. This test locks every one of those facts.
+func TestFig2GoldenReconstruction(t *testing.T) {
+	ch := workload.Fig2Chain()
+	n := workload.Fig2TaskCount
+
+	s, err := core.Schedule(ch, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	if s.Makespan() != 14 {
+		t.Fatalf("optimal makespan = %d, want 14", s.Makespan())
+	}
+
+	within, err := core.ScheduleWithin(ch, n, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if within.Len() != n {
+		t.Fatalf("deadline 14 fits %d tasks, want %d", within.Len(), n)
+	}
+	c1 := ch.Comm(1)
+	wantTimes := []platform.Time{12, 10, 8, 6, 3}
+	var procOfTime8 int
+	for i, task := range within.Tasks {
+		virtual := 14 - task.Comms[0] - c1
+		if virtual != wantTimes[i] {
+			t.Errorf("task %d virtual time = %d, want %d", i+1, virtual, wantTimes[i])
+		}
+		if virtual == 8 {
+			procOfTime8 = task.Proc
+		}
+	}
+	if procOfTime8 != 2 {
+		t.Errorf("virtual time 8 comes from processor %d, paper says 2", procOfTime8)
+	}
+	// Exactly one task runs on processor 2 (counts [4 1]).
+	counts := within.Counts()
+	if counts[0] != 4 || counts[1] != 1 {
+		t.Errorf("per-processor counts = %v, want [4 1]", counts)
+	}
+}
+
+// TestFig2GoldenGantt locks the exact ASCII rendering of the
+// reproduced Fig. 2 schedule: any change to the algorithm's tie-breaks
+// or to the renderer that alters the published figure fails here.
+func TestFig2GoldenGantt(t *testing.T) {
+	s, err := core.Schedule(workload.Fig2Chain(), workload.Fig2TaskCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := gantt.ASCII(s.Intervals(), 1)
+	want := "" +
+		"  time |+---------+---\n" +
+		"link 1 |11223344 55   |\n" +
+		"link 2 |      333     |\n" +
+		"proc 1 |  111222444555|\n" +
+		"proc 2 |         33333|\n"
+	if got != want {
+		t.Errorf("Fig. 2 Gantt drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

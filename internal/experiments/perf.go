@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/spider"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E5",
+		Name:  "complexity-scaling",
+		Paper: "§3 complexity claim O(n·p²) and Theorem 2 O(n²·p²)",
+		Run:   runComplexity,
+	})
+}
+
+// timeChain measures the wall time of one core.Schedule call, repeated
+// until the measurement exceeds a floor so fast cases are not pure
+// noise.
+func timeChain(ch platform.Chain, n int) (time.Duration, error) {
+	const floor = 2 * time.Millisecond
+	// Warm up: the first call pays allocator and cache effects that
+	// would skew the smallest sizes.
+	if _, err := core.Schedule(ch, n); err != nil {
+		return 0, err
+	}
+	reps := 0
+	start := time.Now()
+	for {
+		if _, err := core.Schedule(ch, n); err != nil {
+			return 0, err
+		}
+		reps++
+		if d := time.Since(start); d >= floor {
+			return d / time.Duration(reps), nil
+		}
+	}
+}
+
+// fitExponent least-squares fits log(t) = a + b·log(x) and returns b.
+func fitExponent(xs []float64, ts []time.Duration) float64 {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i, x := range xs {
+		lx := math.Log(x)
+		ly := math.Log(float64(ts[i]))
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx)
+}
+
+// runComplexity measures the chain algorithm over n and p sweeps and
+// the spider algorithm over an n sweep, reporting fitted exponents
+// (expected ≈1 in n and ≈2 in p for chains; ≈2 in n for spiders because
+// of the binary search over per-leg deadline schedules).
+func runComplexity() (*Report, error) {
+	g := platform.MustGenerator(2024, 1, 9, platform.Uniform)
+
+	nSweep := Table{
+		Title:  "E5a: chain algorithm runtime vs n (p=16 fixed)",
+		Note:   "expected linear in n",
+		Header: []string{"n", "time/op"},
+	}
+	ch := g.Chain(16)
+	var nXs []float64
+	var nTs []time.Duration
+	for _, n := range []int{256, 512, 1024, 2048, 4096} {
+		d, err := timeChain(ch, n)
+		if err != nil {
+			return nil, err
+		}
+		nSweep.AddRow(n, d)
+		nXs = append(nXs, float64(n))
+		nTs = append(nTs, d)
+	}
+	nExp := fitExponent(nXs, nTs)
+
+	pSweep := Table{
+		Title:  "E5b: chain algorithm runtime vs p (n=512 fixed)",
+		Note:   "expected quadratic in p",
+		Header: []string{"p", "time/op"},
+	}
+	var pXs []float64
+	var pTs []time.Duration
+	for _, p := range []int{8, 16, 32, 64, 128} {
+		d, err := timeChain(g.Chain(p), 512)
+		if err != nil {
+			return nil, err
+		}
+		pSweep.AddRow(p, d)
+		pXs = append(pXs, float64(p))
+		pTs = append(pTs, d)
+	}
+	pExp := fitExponent(pXs, pTs)
+
+	spSweep := Table{
+		Title:  "E5c: spider algorithm runtime vs n (4 legs, depth<=3)",
+		Note:   "Theorem 2 bounds the packing by O(n²p²); the deadline binary search adds a log factor",
+		Header: []string{"n", "time/op"},
+	}
+	sp := g.Spider(4, 3)
+	for _, n := range []int{64, 128, 256, 512} {
+		start := time.Now()
+		if _, _, err := spider.MinMakespan(sp, n); err != nil {
+			return nil, err
+		}
+		spSweep.AddRow(n, time.Since(start))
+	}
+
+	fits := Table{
+		Title:  "E5 fitted exponents",
+		Note:   "log-log least squares over the sweeps above",
+		Header: []string{"sweep", "fitted exponent", "paper's bound"},
+	}
+	fits.AddRow("chain: n", fmt.Sprintf("%.2f", nExp), "1 (from O(n·p²))")
+	fits.AddRow("chain: p", fmt.Sprintf("%.2f", pExp), "2 (from O(n·p²))")
+	return &Report{Tables: []Table{nSweep, pSweep, spSweep, fits}}, nil
+}

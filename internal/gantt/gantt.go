@@ -1,0 +1,172 @@
+// Package gantt renders resource-occupation intervals (package trace) as
+// Gantt charts: a fixed-width ASCII form for terminals and golden tests,
+// and a standalone SVG form for documents. The ASCII renderer reproduces
+// the style of the paper's Fig. 2: one row per resource, time growing to
+// the right, digits identifying tasks, '.' marking buffered waits.
+package gantt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+// ASCII renders the intervals as a fixed-width chart. scale is the
+// number of time units per character cell (1 keeps full resolution;
+// larger values compress long schedules). Overlapping Comm/Exec
+// intervals on one resource render as '#', which a feasible schedule
+// never produces.
+func ASCII(ivs []trace.Interval, scale platform.Time) string {
+	if scale < 1 {
+		scale = 1
+	}
+	if len(ivs) == 0 {
+		return "(empty schedule)\n"
+	}
+	start, end, _ := trace.Span(ivs)
+	if start > 0 {
+		start = 0 // charts anchor at time 0
+	}
+	width := int((end - start + scale - 1) / scale)
+	resources := trace.Resources(ivs)
+	sort.Strings(resources)
+
+	nameWidth := 0
+	for _, r := range resources {
+		if len(r) > nameWidth {
+			nameWidth = len(r)
+		}
+	}
+	rows := make(map[string][]byte, len(resources))
+	// A cell marks '#' only when the resource truly has overlapping
+	// occupations in time; with scale > 1 adjacent intervals can share
+	// a boundary cell without being infeasible, and then the later
+	// interval simply overwrites it.
+	overlapping := make(map[string]bool, len(resources))
+	byResource := make(map[string][]trace.Interval, len(resources))
+	for _, iv := range ivs {
+		byResource[iv.Resource] = append(byResource[iv.Resource], iv)
+	}
+	for _, r := range resources {
+		overlapping[r] = trace.CheckOverlaps(byResource[r]) != nil
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		rows[r] = row
+	}
+	for _, iv := range ivs {
+		row := rows[iv.Resource]
+		lo := int((iv.Start - start) / scale)
+		hi := int((iv.End - start + scale - 1) / scale)
+		if hi == lo {
+			hi = lo + 1 // zero-length intervals still show one cell
+		}
+		for i := lo; i < hi && i < len(row); i++ {
+			switch {
+			case iv.Kind == trace.Wait:
+				if row[i] == ' ' {
+					row[i] = '.'
+				}
+			case row[i] == ' ' || row[i] == '.' || !overlapping[iv.Resource]:
+				row[i] = taskGlyph(iv.Task)
+			default:
+				row[i] = '#' // collision: infeasible schedule
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%*s |%s\n", nameWidth, "time", ruler(width, scale))
+	for _, r := range resources {
+		fmt.Fprintf(&b, "%*s |%s|\n", nameWidth, r, rows[r])
+	}
+	return b.String()
+}
+
+// taskGlyph maps a 1-based task id to a digit or letter, cycling for
+// large schedules.
+func taskGlyph(task int) byte {
+	const glyphs = "123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	return glyphs[(task-1)%len(glyphs)]
+}
+
+// ruler produces a time axis with a tick every 10 cells.
+func ruler(width int, scale platform.Time) string {
+	row := make([]byte, width)
+	for i := range row {
+		if i%10 == 0 {
+			row[i] = '+'
+		} else {
+			row[i] = '-'
+		}
+	}
+	return string(row)
+}
+
+// SVG renders the intervals as a self-contained SVG document. Comm
+// intervals are blue, Exec green, Wait hatched grey; rows are grouped by
+// resource in lexicographic order.
+func SVG(ivs []trace.Interval, pxPerUnit float64) string {
+	const rowH, pad, labelW = 24, 8, 140
+	if pxPerUnit <= 0 {
+		pxPerUnit = 8
+	}
+	resources := trace.Resources(ivs)
+	sort.Strings(resources)
+	rowOf := make(map[string]int, len(resources))
+	for i, r := range resources {
+		rowOf[r] = i
+	}
+	_, end, ok := trace.Span(ivs)
+	if !ok {
+		end = 1
+	}
+	width := labelW + int(float64(end)*pxPerUnit) + 2*pad
+	height := len(resources)*rowH + 2*pad + rowH // extra row for the axis
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="12">`+"\n", width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	for i, r := range resources {
+		y := pad + i*rowH
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", pad, y+rowH-8, escape(r))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#ddd"/>`+"\n", labelW, y+rowH, width-pad, y+rowH)
+	}
+	for _, iv := range ivs {
+		y := pad + rowOf[iv.Resource]*rowH + 3
+		x := labelW + int(float64(iv.Start)*pxPerUnit)
+		w := int(float64(iv.End-iv.Start) * pxPerUnit)
+		if w < 1 {
+			w = 1
+		}
+		fill, extra := "#4a90d9", "" // comm: blue
+		switch iv.Kind {
+		case trace.Exec:
+			fill = "#5cb85c" // exec: green
+		case trace.Wait:
+			fill, extra = "#cccccc", ` fill-opacity="0.5"`
+		}
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"%s stroke="#333"><title>task %d %s [%d,%d)</title></rect>`+"\n",
+			x, y, w, rowH-6, fill, extra, iv.Task, iv.Kind, iv.Start, iv.End)
+		if w >= 10 {
+			fmt.Fprintf(&b, `<text x="%d" y="%d" fill="white">%d</text>`+"\n", x+2, y+rowH-10, iv.Task)
+		}
+	}
+	// Time axis.
+	axisY := pad + len(resources)*rowH + rowH - 8
+	for t := platform.Time(0); t <= end; t += 5 {
+		x := labelW + int(float64(t)*pxPerUnit)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="#666">%d</text>`+"\n", x, axisY, t)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

@@ -1,0 +1,196 @@
+package gantt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+func sampleIntervals() []trace.Interval {
+	return []trace.Interval{
+		{Resource: "link 1", Task: 1, Kind: trace.Comm, Start: 0, End: 2},
+		{Resource: "link 1", Task: 2, Kind: trace.Comm, Start: 2, End: 4},
+		{Resource: "proc 1", Task: 2, Kind: trace.Wait, Start: 4, End: 7},
+		{Resource: "proc 1", Task: 1, Kind: trace.Exec, Start: 2, End: 7},
+		{Resource: "proc 1", Task: 2, Kind: trace.Exec, Start: 7, End: 12},
+	}
+}
+
+func TestASCIIBasicLayout(t *testing.T) {
+	out := ASCII(sampleIntervals(), 1)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // ruler + 2 resources
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "time") || !strings.Contains(lines[0], "+") {
+		t.Errorf("missing ruler: %q", lines[0])
+	}
+	var linkRow, procRow string
+	for _, l := range lines[1:] {
+		if strings.Contains(l, "link 1") {
+			linkRow = l
+		}
+		if strings.Contains(l, "proc 1") {
+			procRow = l
+		}
+	}
+	if linkRow == "" || procRow == "" {
+		t.Fatalf("rows missing:\n%s", out)
+	}
+	// link 1: task 1 occupies cells 0-1, task 2 cells 2-3.
+	body := linkRow[strings.Index(linkRow, "|")+1:]
+	if !strings.HasPrefix(body, "1122") {
+		t.Errorf("link row = %q, want prefix 1122", body)
+	}
+	// proc 1: exec task1 cells 2..6, wait '.' never overwrites digits,
+	// then task 2 from 7.
+	body = procRow[strings.Index(procRow, "|")+1:]
+	if !strings.Contains(body, "11111") || !strings.Contains(body, "22222") {
+		t.Errorf("proc row = %q", body)
+	}
+}
+
+func TestASCIIWaitDots(t *testing.T) {
+	ivs := []trace.Interval{
+		{Resource: "proc 1", Task: 1, Kind: trace.Wait, Start: 0, End: 3},
+		{Resource: "proc 1", Task: 1, Kind: trace.Exec, Start: 3, End: 5},
+	}
+	out := ASCII(ivs, 1)
+	if !strings.Contains(out, "...11") {
+		t.Errorf("wait not rendered as dots:\n%s", out)
+	}
+}
+
+func TestASCIICollisionsMarked(t *testing.T) {
+	ivs := []trace.Interval{
+		{Resource: "l", Task: 1, Kind: trace.Comm, Start: 0, End: 3},
+		{Resource: "l", Task: 2, Kind: trace.Comm, Start: 1, End: 4},
+	}
+	out := ASCII(ivs, 1)
+	if !strings.Contains(out, "#") {
+		t.Errorf("overlap not marked:\n%s", out)
+	}
+}
+
+func TestASCIIScaleCompresses(t *testing.T) {
+	full := ASCII(sampleIntervals(), 1)
+	half := ASCII(sampleIntervals(), 2)
+	if len(half) >= len(full) {
+		t.Errorf("scale=2 output (%d bytes) not smaller than scale=1 (%d)", len(half), len(full))
+	}
+	// Degenerate scale falls back to 1.
+	if got := ASCII(sampleIntervals(), 0); got != full {
+		t.Error("scale=0 does not fall back to scale=1")
+	}
+}
+
+func TestASCIIEmpty(t *testing.T) {
+	if got := ASCII(nil, 1); !strings.Contains(got, "empty") {
+		t.Errorf("empty rendering = %q", got)
+	}
+}
+
+func TestASCIITaskGlyphsCycle(t *testing.T) {
+	if taskGlyph(1) != '1' || taskGlyph(9) != '9' || taskGlyph(10) != 'a' {
+		t.Error("unexpected early glyphs")
+	}
+	// 9 digits + 26 lowercase + 26 uppercase = 61 glyphs.
+	if taskGlyph(62) != taskGlyph(1) {
+		t.Error("glyphs do not cycle after 61 tasks")
+	}
+}
+
+func TestASCIIFig2Schedule(t *testing.T) {
+	// End-to-end: render the optimal 5-task schedule of a two-processor
+	// chain and check global shape: rows exist, no collisions,
+	// ends at the makespan.
+	ch := platform.NewChain(2, 5, 3, 3)
+	s, err := core.Schedule(ch, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ASCII(s.Intervals(), 1)
+	for _, want := range []string{"link 1", "link 2", "proc 1", "proc 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing row %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "#") {
+		t.Errorf("feasible schedule rendered with collisions:\n%s", out)
+	}
+}
+
+func TestSVGWellFormedAndComplete(t *testing.T) {
+	ivs := sampleIntervals()
+	svg := SVG(ivs, 8)
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatalf("not an svg document: %q", svg[:40])
+	}
+	// One rect per interval plus the background.
+	if got, want := strings.Count(svg, "<rect"), len(ivs)+1; got != want {
+		t.Errorf("%d rects, want %d", got, want)
+	}
+	for _, frag := range []string{"#4a90d9", "#5cb85c", "#cccccc", "link 1", "proc 1"} {
+		if !strings.Contains(svg, frag) {
+			t.Errorf("missing %q", frag)
+		}
+	}
+}
+
+func TestSVGEscapesResourceNames(t *testing.T) {
+	ivs := []trace.Interval{{Resource: "a<b>&c", Task: 1, Kind: trace.Exec, Start: 0, End: 1}}
+	svg := SVG(ivs, 8)
+	if strings.Contains(svg, "a<b>") {
+		t.Error("unescaped resource name")
+	}
+	if !strings.Contains(svg, "a&lt;b&gt;&amp;c") {
+		t.Error("escaped name missing")
+	}
+}
+
+func TestSVGDefaultsAndEmpty(t *testing.T) {
+	if svg := SVG(nil, 0); !strings.Contains(svg, "</svg>") {
+		t.Error("empty SVG malformed")
+	}
+}
+
+func TestSVGFromSpiderSchedule(t *testing.T) {
+	sp := platform.NewSpider(platform.NewChain(2, 5, 3, 3), platform.NewChain(1, 4))
+	s := &sched.SpiderSchedule{
+		Spider: sp,
+		Tasks: []sched.SpiderTask{
+			{Leg: 0, ChainTask: sched.ChainTask{Proc: 1, Start: 2, Comms: []platform.Time{0}}},
+			{Leg: 1, ChainTask: sched.ChainTask{Proc: 1, Start: 3, Comms: []platform.Time{2}}},
+		},
+	}
+	svg := SVG(s.Intervals(), 8)
+	if !strings.Contains(svg, "master") || !strings.Contains(svg, "leg 1 proc 1") {
+		t.Errorf("spider resources missing from SVG")
+	}
+}
+
+func TestASCIIScaledAdjacencyIsNotACollision(t *testing.T) {
+	// At scale 2, the intervals [0,3) and [3,6) share the character
+	// cell covering times [2,4); feasible adjacency must not render as
+	// a '#' collision.
+	ivs := []trace.Interval{
+		{Resource: "l", Task: 1, Kind: trace.Comm, Start: 0, End: 3},
+		{Resource: "l", Task: 2, Kind: trace.Comm, Start: 3, End: 6},
+	}
+	out := ASCII(ivs, 2)
+	if strings.Contains(out, "#") {
+		t.Errorf("feasible adjacency rendered as collision:\n%s", out)
+	}
+	// A genuine overlap at the same scale must still be flagged.
+	bad := []trace.Interval{
+		{Resource: "l", Task: 1, Kind: trace.Comm, Start: 0, End: 4},
+		{Resource: "l", Task: 2, Kind: trace.Comm, Start: 2, End: 6},
+	}
+	if out := ASCII(bad, 2); !strings.Contains(out, "#") {
+		t.Errorf("true overlap not flagged at scale 2:\n%s", out)
+	}
+}

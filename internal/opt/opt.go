@@ -1,0 +1,149 @@
+// Package opt computes exact optima for small instances by exhaustive
+// search. It is the oracle that the reproduction uses to validate the
+// paper's optimality theorems (Theorem 1 for chains, Theorem 3 for
+// spiders) and the fork-graph comparator of §6.
+//
+// # Why destination-sequence enumeration is exact
+//
+// Without loss of generality tasks are emitted from the master in index
+// order (the paper's convention after Definition 1). Because tasks are
+// identical, any feasible schedule can be rewritten — by exchanging the
+// identities of tasks downstream — so that every link forwards tasks in
+// emission order and every processor executes its tasks in arrival
+// order (FIFO): if a later-emitted task overtook an earlier one on some
+// link, the earlier task was available there no later than the later one
+// (arrivals are ordered by emission on the previous hop), so swapping
+// their continuations yields a feasible schedule with the same resource
+// usage. Finally, with FIFO fixed, shifting every communication and
+// execution to its earliest feasible time (ASAP) never violates a
+// constraint and never increases the makespan.
+//
+// Hence min over all schedules = min over destination sequences of the
+// ASAP/FIFO forward simulation, and enumerating the p^n destination
+// sequences is exact. The blow-up restricts the oracle to the small
+// instances used in tests and validation experiments.
+package opt
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// ForwardChain builds the ASAP/FIFO schedule for the given destination
+// sequence on a chain: dests[i] is the 1-based processor of the i-th
+// emitted task. It errs on invalid destinations.
+func ForwardChain(ch platform.Chain, dests []int) (*sched.ChainSchedule, error) {
+	if err := ch.Validate(); err != nil {
+		return nil, err
+	}
+	p := ch.Len()
+	linkFree := make([]platform.Time, p+1)
+	procFree := make([]platform.Time, p+1)
+	s := &sched.ChainSchedule{Chain: ch, Tasks: make([]sched.ChainTask, 0, len(dests))}
+	for i, d := range dests {
+		if d < 1 || d > p {
+			return nil, fmt.Errorf("opt: task %d destination %d outside [1,%d]", i+1, d, p)
+		}
+		comms := make([]platform.Time, d)
+		var hop platform.Time
+		for k := 1; k <= d; k++ {
+			start := linkFree[k]
+			if k > 1 && hop > start {
+				start = hop
+			}
+			comms[k-1] = start
+			hop = start + ch.Comm(k)
+			linkFree[k] = hop
+		}
+		begin := max(hop, procFree[d])
+		procFree[d] = begin + ch.Work(d)
+		s.Tasks = append(s.Tasks, sched.ChainTask{Proc: d, Start: begin, Comms: comms})
+	}
+	return s, nil
+}
+
+// chainMakespan is the allocation-free fast path of ForwardChain used
+// inside the exhaustive search loops.
+func chainMakespan(ch platform.Chain, dests []int, linkFree, procFree []platform.Time) platform.Time {
+	p := ch.Len()
+	for k := 0; k <= p; k++ {
+		linkFree[k], procFree[k] = 0, 0
+	}
+	var mk platform.Time
+	for _, d := range dests {
+		var hop platform.Time
+		for k := 1; k <= d; k++ {
+			start := linkFree[k]
+			if k > 1 && hop > start {
+				start = hop
+			}
+			hop = start + ch.Comm(k)
+			linkFree[k] = hop
+		}
+		begin := max(hop, procFree[d])
+		procFree[d] = begin + ch.Work(d)
+		if procFree[d] > mk {
+			mk = procFree[d]
+		}
+	}
+	return mk
+}
+
+// BruteChain returns an optimal schedule and its makespan for n tasks on
+// the chain by exhaustive search over the p^n destination sequences.
+func BruteChain(ch platform.Chain, n int) (*sched.ChainSchedule, platform.Time, error) {
+	if err := ch.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if n < 0 {
+		return nil, 0, fmt.Errorf("opt: negative task count %d", n)
+	}
+	p := ch.Len()
+	best := platform.MaxTime
+	bestDests := make([]int, n)
+	dests := make([]int, n)
+	linkFree := make([]platform.Time, p+1)
+	procFree := make([]platform.Time, p+1)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			if mk := chainMakespan(ch, dests, linkFree, procFree); mk < best {
+				best = mk
+				copy(bestDests, dests)
+			}
+			return
+		}
+		for d := 1; d <= p; d++ {
+			dests[i] = d
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	if n == 0 {
+		return &sched.ChainSchedule{Chain: ch}, 0, nil
+	}
+	s, err := ForwardChain(ch, bestDests)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s, best, nil
+}
+
+// BruteChainMaxTasks returns the largest m ≤ limit such that m tasks can
+// complete within the deadline, exploiting that the optimal makespan is
+// non-decreasing in the task count (a schedule of m tasks contains one of
+// m−1).
+func BruteChainMaxTasks(ch platform.Chain, limit int, deadline platform.Time) (int, error) {
+	for m := 1; m <= limit; m++ {
+		_, mk, err := BruteChain(ch, m)
+		if err != nil {
+			return 0, err
+		}
+		if mk > deadline {
+			return m - 1, nil
+		}
+	}
+	return limit, nil
+}

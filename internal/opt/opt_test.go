@@ -1,0 +1,150 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func fig2Chain() platform.Chain { return platform.NewChain(2, 5, 3, 3) }
+
+func TestForwardChainHandChecked(t *testing.T) {
+	// Destination sequence (2, 1) on the fixture chain:
+	//   task 1: link1 [0,2), link2 [2,5), exec proc2 [5,8)
+	//   task 2: link1 [2,4), exec proc1 [4,9)
+	s, err := ForwardChain(fig2Chain(), []int{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatalf("forward schedule infeasible: %v", err)
+	}
+	t1, t2 := s.Tasks[0], s.Tasks[1]
+	if t1.Proc != 2 || t1.Comms[0] != 0 || t1.Comms[1] != 2 || t1.Start != 5 {
+		t.Errorf("task 1 = %+v, want proc2 comms [0 2] start 5", t1)
+	}
+	if t2.Proc != 1 || t2.Comms[0] != 2 || t2.Start != 4 {
+		t.Errorf("task 2 = %+v, want proc1 comms [2] start 4", t2)
+	}
+	if s.Makespan() != 9 {
+		t.Errorf("makespan = %d, want 9", s.Makespan())
+	}
+}
+
+func TestForwardChainBufferedTask(t *testing.T) {
+	// Two tasks to proc 1 (w=5 > c=2): the second waits.
+	s, err := ForwardChain(fig2Chain(), []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	if s.Tasks[1].Start != 7 { // arrives at 4, waits for proc until 7
+		t.Errorf("second task starts at %d, want 7", s.Tasks[1].Start)
+	}
+	if s.Makespan() != 12 {
+		t.Errorf("makespan = %d, want 12", s.Makespan())
+	}
+}
+
+func TestForwardChainInvalid(t *testing.T) {
+	if _, err := ForwardChain(fig2Chain(), []int{0}); err == nil {
+		t.Error("destination 0 accepted")
+	}
+	if _, err := ForwardChain(fig2Chain(), []int{3}); err == nil {
+		t.Error("destination beyond chain accepted")
+	}
+	if _, err := ForwardChain(platform.Chain{}, nil); err == nil {
+		t.Error("empty chain accepted")
+	}
+}
+
+func TestBruteChainSmall(t *testing.T) {
+	// n=2 on the fixture chain: optimum is 9 (first task deep, second local),
+	// hand-enumerated: (1,1)->12, (1,2)->10, (2,1)->9, (2,2)->11.
+	s, mk, err := BruteChain(fig2Chain(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mk != 9 {
+		t.Errorf("optimal makespan = %d, want 9", mk)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatalf("optimal schedule infeasible: %v", err)
+	}
+	if s.Makespan() != mk {
+		t.Errorf("schedule makespan %d != reported %d", s.Makespan(), mk)
+	}
+}
+
+func TestBruteChainSingleProcessorClosedForm(t *testing.T) {
+	// p=1: the optimum is exactly T∞ = c1 + (n-1)max(c1,w1) + w1.
+	for _, ch := range []platform.Chain{
+		platform.NewChain(2, 5),
+		platform.NewChain(5, 2),
+		platform.NewChain(3, 3),
+	} {
+		for n := 1; n <= 5; n++ {
+			_, mk, err := BruteChain(ch, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := ch.MasterOnlyMakespan(n); mk != want {
+				t.Errorf("%v n=%d: brute %d, want %d", ch, n, mk, want)
+			}
+		}
+	}
+}
+
+func TestBruteChainZeroTasks(t *testing.T) {
+	s, mk, err := BruteChain(fig2Chain(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mk != 0 || s.Len() != 0 {
+		t.Errorf("n=0: makespan %d len %d", mk, s.Len())
+	}
+	if _, _, err := BruteChain(fig2Chain(), -1); err == nil {
+		t.Error("negative n accepted")
+	}
+}
+
+func TestBruteChainMonotoneInN(t *testing.T) {
+	ch := platform.NewChain(1, 3, 2, 2, 1, 4)
+	prev := platform.Time(0)
+	for n := 1; n <= 5; n++ {
+		_, mk, err := BruteChain(ch, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mk < prev {
+			t.Errorf("makespan decreased from %d to %d at n=%d", prev, mk, n)
+		}
+		prev = mk
+	}
+}
+
+func TestBruteChainMaxTasks(t *testing.T) {
+	ch := fig2Chain()
+	// Optimal makespans: n=1 -> 7, n=2 -> 9.
+	m, err := BruteChainMaxTasks(ch, 5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 0 {
+		t.Errorf("deadline 6: %d tasks, want 0", m)
+	}
+	m, _ = BruteChainMaxTasks(ch, 5, 7)
+	if m != 1 {
+		t.Errorf("deadline 7: %d tasks, want 1", m)
+	}
+	m, _ = BruteChainMaxTasks(ch, 5, 9)
+	if m != 2 {
+		t.Errorf("deadline 9: %d tasks, want 2", m)
+	}
+	m, _ = BruteChainMaxTasks(ch, 2, 1000)
+	if m != 2 {
+		t.Errorf("generous deadline capped at limit: %d, want 2", m)
+	}
+}

@@ -1,0 +1,144 @@
+package opt
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// SpiderDest addresses one processor of a spider: 0-based leg, 1-based
+// depth within the leg.
+type SpiderDest struct {
+	Leg  int
+	Proc int
+}
+
+// ForwardSpider builds the ASAP/FIFO schedule for the given destination
+// sequence on a spider. The master's send port serialises first-hop
+// communications across legs in emission order; each leg then behaves
+// like a chain.
+func ForwardSpider(sp platform.Spider, dests []SpiderDest) (*sched.SpiderSchedule, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	var portFree platform.Time
+	linkFree := make([][]platform.Time, sp.NumLegs())
+	procFree := make([][]platform.Time, sp.NumLegs())
+	for b, leg := range sp.Legs {
+		linkFree[b] = make([]platform.Time, leg.Len()+1)
+		procFree[b] = make([]platform.Time, leg.Len()+1)
+	}
+	s := &sched.SpiderSchedule{Spider: sp, Tasks: make([]sched.SpiderTask, 0, len(dests))}
+	for i, d := range dests {
+		if d.Leg < 0 || d.Leg >= sp.NumLegs() {
+			return nil, fmt.Errorf("opt: task %d leg %d outside [0,%d)", i+1, d.Leg, sp.NumLegs())
+		}
+		leg := sp.Legs[d.Leg]
+		if d.Proc < 1 || d.Proc > leg.Len() {
+			return nil, fmt.Errorf("opt: task %d depth %d outside [1,%d]", i+1, d.Proc, leg.Len())
+		}
+		comms := make([]platform.Time, d.Proc)
+		// First hop: gated by the master's port (which subsumes the
+		// first link of the leg because the port serialises everything).
+		start := max(portFree, linkFree[d.Leg][1])
+		comms[0] = start
+		hop := start + leg.Comm(1)
+		portFree = hop
+		linkFree[d.Leg][1] = hop
+		for k := 2; k <= d.Proc; k++ {
+			st := max(hop, linkFree[d.Leg][k])
+			comms[k-1] = st
+			hop = st + leg.Comm(k)
+			linkFree[d.Leg][k] = hop
+		}
+		begin := max(hop, procFree[d.Leg][d.Proc])
+		procFree[d.Leg][d.Proc] = begin + leg.Work(d.Proc)
+		s.Tasks = append(s.Tasks, sched.SpiderTask{
+			Leg:       d.Leg,
+			ChainTask: sched.ChainTask{Proc: d.Proc, Start: begin, Comms: comms},
+		})
+	}
+	return s, nil
+}
+
+// AllDests lists every processor of the spider as a destination.
+func AllDests(sp platform.Spider) []SpiderDest {
+	var out []SpiderDest
+	for b, leg := range sp.Legs {
+		for k := 1; k <= leg.Len(); k++ {
+			out = append(out, SpiderDest{Leg: b, Proc: k})
+		}
+	}
+	return out
+}
+
+// BruteSpider returns an optimal schedule and makespan for n tasks on
+// the spider by exhaustive search over the (total processors)^n
+// destination sequences.
+func BruteSpider(sp platform.Spider, n int) (*sched.SpiderSchedule, platform.Time, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if n < 0 {
+		return nil, 0, fmt.Errorf("opt: negative task count %d", n)
+	}
+	all := AllDests(sp)
+	best := platform.MaxTime
+	bestDests := make([]SpiderDest, n)
+	dests := make([]SpiderDest, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			s, err := ForwardSpider(sp, dests)
+			if err != nil {
+				return
+			}
+			if mk := s.Makespan(); mk < best {
+				best = mk
+				copy(bestDests, dests)
+			}
+			return
+		}
+		for _, d := range all {
+			dests[i] = d
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	if n == 0 {
+		return &sched.SpiderSchedule{Spider: sp}, 0, nil
+	}
+	s, err := ForwardSpider(sp, bestDests)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s, best, nil
+}
+
+// BruteSpiderMaxTasks returns the largest m ≤ limit whose optimal
+// makespan fits within the deadline.
+func BruteSpiderMaxTasks(sp platform.Spider, limit int, deadline platform.Time) (int, error) {
+	for m := 1; m <= limit; m++ {
+		_, mk, err := BruteSpider(sp, m)
+		if err != nil {
+			return 0, err
+		}
+		if mk > deadline {
+			return m - 1, nil
+		}
+	}
+	return limit, nil
+}
+
+// BruteFork returns an optimal schedule and makespan for n tasks on a
+// fork by reducing it to the equivalent single-node-leg spider.
+func BruteFork(f platform.Fork, n int) (*sched.SpiderSchedule, platform.Time, error) {
+	return BruteSpider(f.Spider(), n)
+}
+
+// BruteForkMaxTasks returns the largest m ≤ limit whose optimal makespan
+// on the fork fits within the deadline.
+func BruteForkMaxTasks(f platform.Fork, limit int, deadline platform.Time) (int, error) {
+	return BruteSpiderMaxTasks(f.Spider(), limit, deadline)
+}

@@ -1,0 +1,100 @@
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// fileEnvelope is the on-disk JSON format shared by the cmd/ tools: a
+// tagged union so one file unambiguously carries one platform kind.
+type fileEnvelope struct {
+	Kind   string          `json:"kind"` // "chain" | "spider" | "fork"
+	Chain  json.RawMessage `json:"chain,omitempty"`
+	Spider json.RawMessage `json:"spider,omitempty"`
+	Fork   json.RawMessage `json:"fork,omitempty"`
+}
+
+// WriteChain encodes a chain to w as a tagged JSON document.
+func WriteChain(w io.Writer, ch Chain) error {
+	raw, err := json.Marshal(ch)
+	if err != nil {
+		return fmt.Errorf("platform: encoding chain: %w", err)
+	}
+	return writeEnvelope(w, fileEnvelope{Kind: "chain", Chain: raw})
+}
+
+// WriteSpider encodes a spider to w as a tagged JSON document.
+func WriteSpider(w io.Writer, sp Spider) error {
+	raw, err := json.Marshal(sp)
+	if err != nil {
+		return fmt.Errorf("platform: encoding spider: %w", err)
+	}
+	return writeEnvelope(w, fileEnvelope{Kind: "spider", Spider: raw})
+}
+
+// WriteFork encodes a fork to w as a tagged JSON document.
+func WriteFork(w io.Writer, f Fork) error {
+	raw, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("platform: encoding fork: %w", err)
+	}
+	return writeEnvelope(w, fileEnvelope{Kind: "fork", Fork: raw})
+}
+
+func writeEnvelope(w io.Writer, env fileEnvelope) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(env); err != nil {
+		return fmt.Errorf("platform: writing platform file: %w", err)
+	}
+	return nil
+}
+
+// Decoded is the result of reading a platform file: exactly one of the
+// pointers is non-nil, matching Kind.
+type Decoded struct {
+	Kind   string
+	Chain  *Chain
+	Spider *Spider
+	Fork   *Fork
+}
+
+// Read decodes a tagged platform document and validates it.
+func Read(r io.Reader) (Decoded, error) {
+	var env fileEnvelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return Decoded{}, fmt.Errorf("platform: decoding platform file: %w", err)
+	}
+	switch env.Kind {
+	case "chain":
+		var ch Chain
+		if err := json.Unmarshal(env.Chain, &ch); err != nil {
+			return Decoded{}, fmt.Errorf("platform: decoding chain body: %w", err)
+		}
+		if err := ch.Validate(); err != nil {
+			return Decoded{}, err
+		}
+		return Decoded{Kind: "chain", Chain: &ch}, nil
+	case "spider":
+		var sp Spider
+		if err := json.Unmarshal(env.Spider, &sp); err != nil {
+			return Decoded{}, fmt.Errorf("platform: decoding spider body: %w", err)
+		}
+		if err := sp.Validate(); err != nil {
+			return Decoded{}, err
+		}
+		return Decoded{Kind: "spider", Spider: &sp}, nil
+	case "fork":
+		var f Fork
+		if err := json.Unmarshal(env.Fork, &f); err != nil {
+			return Decoded{}, fmt.Errorf("platform: decoding fork body: %w", err)
+		}
+		if err := f.Validate(); err != nil {
+			return Decoded{}, err
+		}
+		return Decoded{Kind: "fork", Fork: &f}, nil
+	default:
+		return Decoded{}, fmt.Errorf("platform: unknown platform kind %q", env.Kind)
+	}
+}

@@ -1,0 +1,90 @@
+package platform
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestChainRoundTrip(t *testing.T) {
+	ch := NewChain(2, 5, 3, 3)
+	var buf bytes.Buffer
+	if err := WriteChain(&buf, ch); err != nil {
+		t.Fatalf("WriteChain: %v", err)
+	}
+	dec, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if dec.Kind != "chain" || dec.Chain == nil {
+		t.Fatalf("decoded kind %q chain=%v", dec.Kind, dec.Chain)
+	}
+	if dec.Chain.Len() != 2 || dec.Chain.Nodes[0] != ch.Nodes[0] || dec.Chain.Nodes[1] != ch.Nodes[1] {
+		t.Errorf("round trip mismatch: %v vs %v", dec.Chain, ch)
+	}
+}
+
+func TestSpiderRoundTrip(t *testing.T) {
+	sp := NewSpider(NewChain(2, 5, 3, 3), NewChain(1, 4))
+	var buf bytes.Buffer
+	if err := WriteSpider(&buf, sp); err != nil {
+		t.Fatalf("WriteSpider: %v", err)
+	}
+	dec, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if dec.Kind != "spider" || dec.Spider == nil {
+		t.Fatalf("decoded kind %q", dec.Kind)
+	}
+	if dec.Spider.NumLegs() != 2 || dec.Spider.NumProcs() != 3 {
+		t.Errorf("round trip mismatch: %v", dec.Spider)
+	}
+}
+
+func TestForkRoundTrip(t *testing.T) {
+	f := NewFork(2, 5, 1, 4, 3, 3)
+	var buf bytes.Buffer
+	if err := WriteFork(&buf, f); err != nil {
+		t.Fatalf("WriteFork: %v", err)
+	}
+	dec, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if dec.Kind != "fork" || dec.Fork == nil {
+		t.Fatalf("decoded kind %q", dec.Kind)
+	}
+	if dec.Fork.Len() != 3 {
+		t.Errorf("round trip len = %d, want 3", dec.Fork.Len())
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":       "][",
+		"unknown kind":   `{"kind":"ring"}`,
+		"invalid chain":  `{"kind":"chain","chain":{"nodes":[{"c":0,"w":1}]}}`,
+		"empty chain":    `{"kind":"chain","chain":{"nodes":[]}}`,
+		"invalid spider": `{"kind":"spider","spider":{"legs":[{"nodes":[]}]}}`,
+		"invalid fork":   `{"kind":"fork","fork":{"slaves":[{"c":1,"w":-2}]}}`,
+		"bad chain body": `{"kind":"chain","chain":42}`,
+	}
+	for name, doc := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(doc)); err == nil {
+				t.Errorf("Read accepted %q", doc)
+			}
+		})
+	}
+}
+
+func TestEncodedFormIsTagged(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChain(&buf, NewChain(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"kind": "chain"`) {
+		t.Errorf("encoded document lacks kind tag: %s", buf.String())
+	}
+}

@@ -1,0 +1,158 @@
+package platform
+
+import (
+	"testing"
+)
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(1, 0, 5, Uniform); err == nil {
+		t.Error("lo=0 accepted")
+	}
+	if _, err := NewGenerator(1, 5, 2, Uniform); err == nil {
+		t.Error("hi<lo accepted")
+	}
+	if _, err := NewGenerator(1, 1, 1, Uniform); err != nil {
+		t.Errorf("degenerate range rejected: %v", err)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := MustGenerator(42, 1, 10, Uniform).Chain(8)
+	b := MustGenerator(42, 1, 10, Uniform).Chain(8)
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			t.Fatalf("same seed diverged at node %d: %v vs %v", i, a.Nodes[i], b.Nodes[i])
+		}
+	}
+}
+
+func TestGeneratorRangesAndValidity(t *testing.T) {
+	for _, reg := range []Heterogeneity{Uniform, CommBound, ComputeBound, Bimodal} {
+		g := MustGenerator(7, 1, 9, reg)
+		ch := g.Chain(64)
+		if err := ch.Validate(); err != nil {
+			t.Fatalf("%v: generated invalid chain: %v", reg, err)
+		}
+		for i, n := range ch.Nodes {
+			hi := Time(9)
+			if reg == Bimodal {
+				hi = 90
+			}
+			if n.Comm < 1 || n.Comm > hi || n.Work < 1 || n.Work > hi {
+				t.Fatalf("%v: node %d = %v out of range [1,%d]", reg, i, n, hi)
+			}
+		}
+	}
+}
+
+func TestGeneratorRegimeBias(t *testing.T) {
+	g := MustGenerator(11, 1, 100, CommBound)
+	ch := g.Chain(200)
+	for i, n := range ch.Nodes {
+		if n.Comm < n.Work {
+			t.Fatalf("comm-bound node %d has c=%d < w=%d", i, n.Comm, n.Work)
+		}
+	}
+	g = MustGenerator(11, 1, 100, ComputeBound)
+	ch = g.Chain(200)
+	for i, n := range ch.Nodes {
+		if n.Work < n.Comm {
+			t.Fatalf("compute-bound node %d has w=%d < c=%d", i, n.Work, n.Comm)
+		}
+	}
+}
+
+func TestGeneratorSpiderShape(t *testing.T) {
+	g := MustGenerator(3, 1, 5, Uniform)
+	sp := g.Spider(6, 4)
+	if sp.NumLegs() != 6 {
+		t.Fatalf("NumLegs = %d, want 6", sp.NumLegs())
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("invalid spider: %v", err)
+	}
+	for i, leg := range sp.Legs {
+		if leg.Len() < 1 || leg.Len() > 4 {
+			t.Errorf("leg %d depth %d outside [1,4]", i, leg.Len())
+		}
+	}
+	// maxDepth 1 forces single-node legs (a fork).
+	sp = g.Spider(3, 1)
+	for i, leg := range sp.Legs {
+		if leg.Len() != 1 {
+			t.Errorf("maxDepth=1 leg %d has depth %d", i, leg.Len())
+		}
+	}
+}
+
+func TestGeneratorFork(t *testing.T) {
+	f := MustGenerator(5, 2, 4, Uniform).Fork(10)
+	if f.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", f.Len())
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("invalid fork: %v", err)
+	}
+}
+
+func TestEnumerateChainsCountsAndBounds(t *testing.T) {
+	// p=1, maxVal=3: 3*3 = 9 chains.
+	count := 0
+	done := EnumerateChains(1, 3, func(ch Chain) bool {
+		count++
+		if err := ch.Validate(); err != nil {
+			t.Fatalf("enumerated invalid chain: %v", err)
+		}
+		return true
+	})
+	if !done || count != 9 {
+		t.Fatalf("p=1 maxVal=3: count=%d done=%v, want 9 true", count, done)
+	}
+	// p=2, maxVal=2: (2*2)^2 = 16 chains.
+	count = 0
+	EnumerateChains(2, 2, func(Chain) bool { count++; return true })
+	if count != 16 {
+		t.Fatalf("p=2 maxVal=2: count=%d, want 16", count)
+	}
+}
+
+func TestEnumerateChainsEarlyStop(t *testing.T) {
+	count := 0
+	done := EnumerateChains(2, 3, func(Chain) bool {
+		count++
+		return count < 5
+	})
+	if done {
+		t.Error("early-stopped enumeration reported completion")
+	}
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+}
+
+func TestEnumerateChainsDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	EnumerateChains(2, 2, func(ch Chain) bool {
+		key := ch.String()
+		if seen[key] {
+			t.Errorf("duplicate chain %s", key)
+		}
+		seen[key] = true
+		return true
+	})
+}
+
+func TestHeterogeneityString(t *testing.T) {
+	names := map[Heterogeneity]string{
+		Uniform:           "uniform",
+		CommBound:         "comm-bound",
+		ComputeBound:      "compute-bound",
+		Bimodal:           "bimodal",
+		Heterogeneity(42): "Heterogeneity(42)",
+	}
+	for h, want := range names {
+		if got := h.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(h), got, want)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		node Node
+		ok   bool
+	}{
+		{"valid", Node{Comm: 1, Work: 1}, true},
+		{"large", Node{Comm: 1 << 30, Work: 1 << 30}, true},
+		{"zero comm", Node{Comm: 0, Work: 1}, false},
+		{"zero work", Node{Comm: 1, Work: 0}, false},
+		{"negative comm", Node{Comm: -3, Work: 1}, false},
+		{"negative work", Node{Comm: 2, Work: -1}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.node.Validate()
+			if (err == nil) != tc.ok {
+				t.Fatalf("Validate(%v) = %v, want ok=%v", tc.node, err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestNewChain(t *testing.T) {
+	ch := NewChain(2, 5, 3, 3)
+	if ch.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", ch.Len())
+	}
+	if ch.Comm(1) != 2 || ch.Work(1) != 5 {
+		t.Errorf("processor 1 = (%d,%d), want (2,5)", ch.Comm(1), ch.Work(1))
+	}
+	if ch.Comm(2) != 3 || ch.Work(2) != 3 {
+		t.Errorf("processor 2 = (%d,%d), want (3,3)", ch.Comm(2), ch.Work(2))
+	}
+}
+
+func TestNewChainPanicsOnOddArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewChain(1,2,3) did not panic")
+		}
+	}()
+	NewChain(1, 2, 3)
+}
+
+func TestChainValidate(t *testing.T) {
+	if err := (Chain{}).Validate(); err == nil {
+		t.Error("empty chain validated")
+	}
+	if err := NewChain(1, 1).Validate(); err != nil {
+		t.Errorf("valid chain rejected: %v", err)
+	}
+	bad := Chain{Nodes: []Node{{Comm: 1, Work: 1}, {Comm: 0, Work: 1}}}
+	err := bad.Validate()
+	if err == nil {
+		t.Fatal("chain with zero latency validated")
+	}
+	if !strings.Contains(err.Error(), "processor 2") {
+		t.Errorf("error %q does not identify processor 2", err)
+	}
+}
+
+func TestChainSub(t *testing.T) {
+	ch := NewChain(1, 2, 3, 4, 5, 6)
+	sub := ch.Sub(2)
+	if sub.Len() != 2 {
+		t.Fatalf("Sub(2).Len = %d, want 2", sub.Len())
+	}
+	if sub.Comm(1) != 3 || sub.Work(1) != 4 {
+		t.Errorf("Sub(2) first node = %v, want (3,4)", sub.Nodes[0])
+	}
+	if full := ch.Sub(1); full.Len() != ch.Len() {
+		t.Errorf("Sub(1).Len = %d, want %d", full.Len(), ch.Len())
+	}
+}
+
+func TestChainPathCommAndSolo(t *testing.T) {
+	ch := NewChain(2, 5, 3, 3)
+	if got := ch.PathComm(1); got != 2 {
+		t.Errorf("PathComm(1) = %d, want 2", got)
+	}
+	if got := ch.PathComm(2); got != 5 {
+		t.Errorf("PathComm(2) = %d, want 5", got)
+	}
+	if got := ch.SoloTaskTime(1); got != 7 {
+		t.Errorf("SoloTaskTime(1) = %d, want 7", got)
+	}
+	if got := ch.SoloTaskTime(2); got != 8 {
+		t.Errorf("SoloTaskTime(2) = %d, want 8", got)
+	}
+	proc, tt := ch.BestSoloProc()
+	if proc != 1 || tt != 7 {
+		t.Errorf("BestSoloProc = (%d,%d), want (1,7)", proc, tt)
+	}
+	// A fast remote node should win the solo placement.
+	far := NewChain(2, 50, 1, 1)
+	proc, tt = far.BestSoloProc()
+	if proc != 2 || tt != 4 {
+		t.Errorf("BestSoloProc = (%d,%d), want (2,4)", proc, tt)
+	}
+}
+
+func TestMasterOnlyMakespan(t *testing.T) {
+	// Computation-bound first processor: w1 > c1.
+	ch := NewChain(2, 5, 3, 3)
+	// T∞ = 2 + (n-1)*5 + 5.
+	if got := ch.MasterOnlyMakespan(1); got != 7 {
+		t.Errorf("n=1: %d, want 7", got)
+	}
+	if got := ch.MasterOnlyMakespan(5); got != 27 {
+		t.Errorf("n=5: %d, want 27", got)
+	}
+	// Communication-bound: c1 > w1, pipeline limited by the link.
+	ch = NewChain(4, 1)
+	// T∞ = 4 + (n-1)*4 + 1.
+	if got := ch.MasterOnlyMakespan(3); got != 13 {
+		t.Errorf("comm-bound n=3: %d, want 13", got)
+	}
+	if got := ch.MasterOnlyMakespan(0); got != 0 {
+		t.Errorf("n=0: %d, want 0", got)
+	}
+}
+
+func TestMasterOnlyMakespanIsFeasibleUpperBoundShape(t *testing.T) {
+	// Property: T∞ grows exactly linearly with n at slope max(c1,w1).
+	prop := func(c, w uint8, n uint8) bool {
+		ch := NewChain(Time(c%16+1), Time(w%16+1))
+		nn := int(n%20) + 2
+		d1 := ch.MasterOnlyMakespan(nn) - ch.MasterOnlyMakespan(nn-1)
+		return d1 == max(ch.Comm(1), ch.Work(1))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpiderBasics(t *testing.T) {
+	sp := NewSpider(NewChain(2, 5, 3, 3), NewChain(1, 4))
+	if sp.NumLegs() != 2 {
+		t.Errorf("NumLegs = %d, want 2", sp.NumLegs())
+	}
+	if sp.NumProcs() != 3 {
+		t.Errorf("NumProcs = %d, want 3", sp.NumProcs())
+	}
+	if err := sp.Validate(); err != nil {
+		t.Errorf("valid spider rejected: %v", err)
+	}
+	if err := (Spider{}).Validate(); err == nil {
+		t.Error("empty spider validated")
+	}
+	bad := NewSpider(NewChain(2, 5), Chain{})
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "leg 1") {
+		t.Errorf("invalid leg not reported: %v", err)
+	}
+	// Master-only bound takes the best leg: leg 2 has c=1,w=4 => 1+(n-1)*4+4.
+	if got := sp.MasterOnlyMakespan(3); got != 13 {
+		t.Errorf("spider MasterOnlyMakespan(3) = %d, want 13", got)
+	}
+}
+
+func TestSpiderClone(t *testing.T) {
+	sp := NewSpider(NewChain(2, 5), NewChain(1, 4))
+	cl := sp.Clone()
+	cl.Legs[0].Nodes[0].Comm = 99
+	if sp.Legs[0].Nodes[0].Comm != 2 {
+		t.Error("Clone shares node storage with the original")
+	}
+}
+
+func TestForkBasics(t *testing.T) {
+	f := NewFork(2, 5, 1, 4)
+	if f.Len() != 2 {
+		t.Errorf("Len = %d, want 2", f.Len())
+	}
+	if err := f.Validate(); err != nil {
+		t.Errorf("valid fork rejected: %v", err)
+	}
+	if err := (Fork{}).Validate(); err == nil {
+		t.Error("empty fork validated")
+	}
+	sp := f.Spider()
+	if sp.NumLegs() != 2 || sp.NumProcs() != 2 {
+		t.Errorf("fork spider = %d legs %d procs, want 2/2", sp.NumLegs(), sp.NumProcs())
+	}
+	for i, leg := range sp.Legs {
+		if leg.Len() != 1 || leg.Nodes[0] != f.Slaves[i] {
+			t.Errorf("leg %d = %v, want single node %v", i, leg, f.Slaves[i])
+		}
+	}
+}
+
+func TestStringRenderings(t *testing.T) {
+	ch := NewChain(2, 5, 3, 3)
+	if got, want := ch.String(), "M --2--> [5] --3--> [3]"; got != want {
+		t.Errorf("chain String = %q, want %q", got, want)
+	}
+	f := NewFork(1, 2)
+	if got := f.String(); !strings.Contains(got, "M--1-->[2]") {
+		t.Errorf("fork String = %q", got)
+	}
+	sp := NewSpider(ch)
+	if got := sp.String(); !strings.Contains(got, "M --2--> [5]") {
+		t.Errorf("spider String = %q", got)
+	}
+	n := Node{Comm: 3, Work: 7}
+	if got, want := n.String(), "(c=3,w=7)"; got != want {
+		t.Errorf("node String = %q, want %q", got, want)
+	}
+}

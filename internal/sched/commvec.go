@@ -1,0 +1,57 @@
+// Package sched defines schedules for master-slave tasking on chains and
+// spiders, the communication-vector order of the paper's Definition 3,
+// and verifiers for the feasibility conditions of Definition 1.
+//
+// A schedule for n tasks gives every task i a processor P(i), a start
+// time T(i) and a communication vector C(i) = {C_1^i, …, C_{P(i)}^i}
+// where C_k^i is the emission time of the task on the link entering
+// processor k. Feasibility (Definition 1):
+//
+//	(1) C_{k-1}^i + c_{k-1} ≤ C_k^i          — store-and-forward hops
+//	(2) C_{P(i)}^i + c_{P(i)} ≤ T(i)         — receive before execute
+//	(3) |T(i) − T(j)| ≥ w_{P(i)} if P(i)=P(j) — one task at a time per CPU
+//	(4) |C_k^i − C_k^j| ≥ c_k                 — one task at a time per link
+//
+// Spider schedules additionally serialise the master's send port across
+// legs (§7, Lemma 3).
+package sched
+
+import "repro/internal/platform"
+
+// VecLess reports whether communication vector a strictly precedes b in
+// the order of Definition 3 (a ≺ b):
+//
+//   - if the vectors differ at some common index, the first differing
+//     coordinate decides: a ≺ b iff a_l < b_l at the smallest such l;
+//   - otherwise, if one is a proper prefix of the other, the longer
+//     vector is the smaller one: a ≺ b iff len(a) > len(b).
+//
+// Equal vectors are not ordered. The backward algorithm always picks the
+// greatest candidate vector under this order: it prefers the latest
+// possible first emission and, on exact prefix ties, the shallower
+// processor (shorter vector), which burdens fewer links.
+func VecLess(a, b []platform.Time) bool {
+	n := min(len(a), len(b))
+	for l := 0; l < n; l++ {
+		if a[l] != b[l] {
+			return a[l] < b[l]
+		}
+	}
+	return len(a) > len(b)
+}
+
+// VecMaxIndex returns the index of the greatest vector of vs under the
+// Definition 3 order, preferring the earliest index on exact equality.
+// It returns -1 for an empty slice.
+func VecMaxIndex(vs [][]platform.Time) int {
+	if len(vs) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(vs); i++ {
+		if VecLess(vs[best], vs[i]) {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,121 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func vec(ts ...platform.Time) []platform.Time { return ts }
+
+func TestVecLessFirstDifference(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []platform.Time
+		less bool
+	}{
+		{"smaller first", vec(1, 5), vec(2, 0), true},
+		{"greater first", vec(3, 0), vec(2, 9), false},
+		{"tie then smaller", vec(4, 1, 0), vec(4, 2), true},
+		{"tie then greater", vec(4, 3), vec(4, 2, 9), false},
+		{"single elements", vec(1), vec(2), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := VecLess(tc.a, tc.b); got != tc.less {
+				t.Errorf("VecLess(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.less)
+			}
+		})
+	}
+}
+
+func TestVecLessPrefixRule(t *testing.T) {
+	// Definition 3, second clause: when one vector extends the other with
+	// equal common prefix, the LONGER vector is the smaller one.
+	long := vec(5, 3, 1)
+	short := vec(5, 3)
+	if !VecLess(long, short) {
+		t.Error("longer vector with equal prefix should be ≺ shorter")
+	}
+	if VecLess(short, long) {
+		t.Error("shorter vector should not be ≺ its extension")
+	}
+}
+
+func TestVecLessEqualVectorsUnordered(t *testing.T) {
+	a := vec(7, 2)
+	b := vec(7, 2)
+	if VecLess(a, b) || VecLess(b, a) {
+		t.Error("equal vectors must not be ordered")
+	}
+}
+
+func TestVecLessIsStrictTotalOrderOnDistinctVectors(t *testing.T) {
+	// Random vectors: exactly one of a≺b, b≺a holds unless identical;
+	// and the order is transitive.
+	rng := rand.New(rand.NewSource(99))
+	randVec := func() []platform.Time {
+		n := 1 + rng.Intn(4)
+		v := make([]platform.Time, n)
+		for i := range v {
+			v[i] = platform.Time(rng.Intn(4))
+		}
+		return v
+	}
+	equal := func(a, b []platform.Time) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	var vs [][]platform.Time
+	for i := 0; i < 60; i++ {
+		vs = append(vs, randVec())
+	}
+	for _, a := range vs {
+		for _, b := range vs {
+			la, lb := VecLess(a, b), VecLess(b, a)
+			if equal(a, b) {
+				if la || lb {
+					t.Fatalf("equal vectors ordered: %v %v", a, b)
+				}
+				continue
+			}
+			if la == lb {
+				t.Fatalf("trichotomy violated for %v, %v: both %v", a, b, la)
+			}
+			// Transitivity: a≺b and b≺c => a≺c.
+			for _, c := range vs {
+				if la && VecLess(b, c) && !VecLess(a, c) && !equal(a, c) {
+					t.Fatalf("transitivity violated: %v ≺ %v ≺ %v but not %v ≺ %v", a, b, c, a, c)
+				}
+			}
+		}
+	}
+}
+
+func TestVecMaxIndex(t *testing.T) {
+	if got := VecMaxIndex(nil); got != -1 {
+		t.Errorf("empty: %d, want -1", got)
+	}
+	vs := [][]platform.Time{
+		vec(3, 1),
+		vec(5, 0, 2),
+		vec(5, 0), // greatest: same prefix as previous but shorter
+		vec(4, 9),
+	}
+	if got := VecMaxIndex(vs); got != 2 {
+		t.Errorf("VecMaxIndex = %d, want 2", got)
+	}
+	// Ties resolve to the first occurrence.
+	vs = [][]platform.Time{vec(2, 2), vec(2, 2)}
+	if got := VecMaxIndex(vs); got != 0 {
+		t.Errorf("tie: %d, want 0", got)
+	}
+}

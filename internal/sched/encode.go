@@ -1,0 +1,77 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// scheduleEnvelope is the on-disk JSON format for schedules, a tagged
+// union mirroring the platform file format.
+type scheduleEnvelope struct {
+	Kind   string          `json:"kind"` // "chain" | "spider"
+	Chain  json.RawMessage `json:"chain_schedule,omitempty"`
+	Spider json.RawMessage `json:"spider_schedule,omitempty"`
+}
+
+// WriteChainSchedule encodes a chain schedule as a tagged JSON document.
+func WriteChainSchedule(w io.Writer, s *ChainSchedule) error {
+	raw, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Errorf("sched: encoding chain schedule: %w", err)
+	}
+	return writeScheduleEnvelope(w, scheduleEnvelope{Kind: "chain", Chain: raw})
+}
+
+// WriteSpiderSchedule encodes a spider schedule as a tagged JSON
+// document.
+func WriteSpiderSchedule(w io.Writer, s *SpiderSchedule) error {
+	raw, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Errorf("sched: encoding spider schedule: %w", err)
+	}
+	return writeScheduleEnvelope(w, scheduleEnvelope{Kind: "spider", Spider: raw})
+}
+
+func writeScheduleEnvelope(w io.Writer, env scheduleEnvelope) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(env); err != nil {
+		return fmt.Errorf("sched: writing schedule file: %w", err)
+	}
+	return nil
+}
+
+// DecodedSchedule is the result of reading a schedule file: exactly one
+// pointer is non-nil, matching Kind.
+type DecodedSchedule struct {
+	Kind   string
+	Chain  *ChainSchedule
+	Spider *SpiderSchedule
+}
+
+// ReadSchedule decodes a tagged schedule document. The embedded
+// platform is decoded along with the schedule; Verify is NOT called so
+// that verification tools can report violations themselves.
+func ReadSchedule(r io.Reader) (DecodedSchedule, error) {
+	var env scheduleEnvelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return DecodedSchedule{}, fmt.Errorf("sched: decoding schedule file: %w", err)
+	}
+	switch env.Kind {
+	case "chain":
+		var s ChainSchedule
+		if err := json.Unmarshal(env.Chain, &s); err != nil {
+			return DecodedSchedule{}, fmt.Errorf("sched: decoding chain schedule body: %w", err)
+		}
+		return DecodedSchedule{Kind: "chain", Chain: &s}, nil
+	case "spider":
+		var s SpiderSchedule
+		if err := json.Unmarshal(env.Spider, &s); err != nil {
+			return DecodedSchedule{}, fmt.Errorf("sched: decoding spider schedule body: %w", err)
+		}
+		return DecodedSchedule{Kind: "spider", Spider: &s}, nil
+	default:
+		return DecodedSchedule{}, fmt.Errorf("sched: unknown schedule kind %q", env.Kind)
+	}
+}

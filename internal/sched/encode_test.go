@@ -1,0 +1,95 @@
+package sched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestChainScheduleRoundTrip(t *testing.T) {
+	s := handSchedule()
+	var buf bytes.Buffer
+	if err := WriteChainSchedule(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := ReadSchedule(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Kind != "chain" || dec.Chain == nil {
+		t.Fatalf("decoded kind %q", dec.Kind)
+	}
+	got := dec.Chain
+	if got.Len() != s.Len() || got.Makespan() != s.Makespan() {
+		t.Errorf("round trip: len %d/%d makespan %d/%d", got.Len(), s.Len(), got.Makespan(), s.Makespan())
+	}
+	if err := got.Verify(); err != nil {
+		t.Errorf("round-tripped schedule infeasible: %v", err)
+	}
+	for i := range s.Tasks {
+		if got.Tasks[i].Proc != s.Tasks[i].Proc || got.Tasks[i].Start != s.Tasks[i].Start {
+			t.Errorf("task %d mismatch: %+v vs %+v", i+1, got.Tasks[i], s.Tasks[i])
+		}
+	}
+}
+
+func TestSpiderScheduleRoundTrip(t *testing.T) {
+	s := handSpiderSchedule()
+	var buf bytes.Buffer
+	if err := WriteSpiderSchedule(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := ReadSchedule(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Kind != "spider" || dec.Spider == nil {
+		t.Fatalf("decoded kind %q", dec.Kind)
+	}
+	got := dec.Spider
+	if got.Len() != s.Len() || got.Makespan() != s.Makespan() {
+		t.Errorf("round trip: len %d/%d makespan %d/%d", got.Len(), s.Len(), got.Makespan(), s.Makespan())
+	}
+	if err := got.Verify(); err != nil {
+		t.Errorf("round-tripped schedule infeasible: %v", err)
+	}
+	for i := range s.Tasks {
+		if got.Tasks[i].Leg != s.Tasks[i].Leg {
+			t.Errorf("task %d leg %d, want %d", i+1, got.Tasks[i].Leg, s.Tasks[i].Leg)
+		}
+	}
+}
+
+func TestReadScheduleRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":     "]]]",
+		"unknown kind": `{"kind":"tree"}`,
+		"bad chain":    `{"kind":"chain","chain_schedule":[]}`,
+		"bad spider":   `{"kind":"spider","spider_schedule":"x"}`,
+	}
+	for name, doc := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadSchedule(strings.NewReader(doc)); err == nil {
+				t.Errorf("accepted %q", doc)
+			}
+		})
+	}
+}
+
+func TestReadScheduleDoesNotVerify(t *testing.T) {
+	// An infeasible schedule must decode fine; verification is the
+	// caller's explicit step (cmd/msverify's whole purpose).
+	s := handSchedule()
+	s.Tasks[0].Start = 0 // violates condition 2
+	var buf bytes.Buffer
+	if err := WriteChainSchedule(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := ReadSchedule(&buf)
+	if err != nil {
+		t.Fatalf("infeasible schedule failed to decode: %v", err)
+	}
+	if err := dec.Chain.Verify(); err == nil {
+		t.Error("round trip lost the infeasibility")
+	}
+}

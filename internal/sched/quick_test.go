@@ -1,0 +1,198 @@
+package sched
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/platform"
+)
+
+// commVec is a generator for small communication vectors.
+type commVec []platform.Time
+
+// Generate implements quick.Generator.
+func (commVec) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := 1 + r.Intn(4)
+	v := make(commVec, n)
+	for i := range v {
+		v[i] = platform.Time(r.Intn(5))
+	}
+	return reflect.ValueOf(v)
+}
+
+func vecEqual(a, b []platform.Time) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickVecLessTrichotomy: for any two vectors, exactly one of
+// a ≺ b, b ≺ a, a = b holds (Definition 3 is a strict total order).
+func TestQuickVecLessTrichotomy(t *testing.T) {
+	prop := func(a, b commVec) bool {
+		la, lb := VecLess(a, b), VecLess(b, a)
+		if vecEqual(a, b) {
+			return !la && !lb
+		}
+		return la != lb
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickVecLessIrreflexive: no vector precedes itself.
+func TestQuickVecLessIrreflexive(t *testing.T) {
+	prop := func(a commVec) bool { return !VecLess(a, a) }
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickVecLessTransitive: a ≺ b and b ≺ c imply a ≺ c.
+func TestQuickVecLessTransitive(t *testing.T) {
+	prop := func(a, b, c commVec) bool {
+		if VecLess(a, b) && VecLess(b, c) {
+			return VecLess(a, c)
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickVecMaxIsGreatest: VecMaxIndex returns an element no other
+// element exceeds.
+func TestQuickVecMaxIsGreatest(t *testing.T) {
+	prop := func(a, b, c, d commVec) bool {
+		vs := [][]platform.Time{a, b, c, d}
+		best := VecMaxIndex(vs)
+		for _, v := range vs {
+			if VecLess(vs[best], v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickShiftInvariance: shifting a schedule preserves feasibility
+// and translates the makespan (random feasible schedules built by a
+// forward packing).
+func TestQuickShiftInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		s := randomFeasibleSchedule(rng)
+		if err := s.Verify(); err != nil {
+			t.Fatalf("generator produced infeasible schedule: %v", err)
+		}
+		mk := s.Makespan()
+		delta := platform.Time(rng.Intn(50))
+		s.Shift(delta)
+		if err := s.Verify(); err != nil {
+			t.Fatalf("shifted schedule infeasible: %v", err)
+		}
+		if s.Len() > 0 && s.Makespan() != mk+delta {
+			t.Fatalf("makespan %d after shift, want %d", s.Makespan(), mk+delta)
+		}
+	}
+}
+
+// TestQuickVerifierCatchesMutations: random single-field mutations of a
+// feasible schedule either keep it feasible or are caught; and the
+// specific mutation of moving an execution before its arrival is always
+// caught.
+func TestQuickVerifierCatchesMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	caught, kept := 0, 0
+	for trial := 0; trial < 300; trial++ {
+		s := randomFeasibleSchedule(rng)
+		if s.Len() == 0 {
+			continue
+		}
+		i := rng.Intn(s.Len())
+		task := &s.Tasks[i]
+		arrival := task.Comms[task.Proc-1] + s.Chain.Comm(task.Proc)
+		switch rng.Intn(3) {
+		case 0: // start before arrival: must always be caught
+			task.Start = arrival - 1 - platform.Time(rng.Intn(3))
+			if err := s.Verify(); err == nil {
+				t.Fatalf("execution before arrival accepted: %+v", task)
+			}
+			caught++
+		case 1: // random start perturbation: caught or still feasible
+			task.Start += platform.Time(rng.Intn(7) - 3)
+			if err := s.Verify(); err != nil {
+				caught++
+			} else if task.Start < arrival {
+				t.Fatalf("verifier kept start %d < arrival %d", task.Start, arrival)
+			} else {
+				kept++
+			}
+		case 2: // random first-emission perturbation
+			task.Comms[0] += platform.Time(rng.Intn(7) - 3)
+			if err := s.Verify(); err != nil {
+				caught++
+			} else {
+				kept++
+			}
+		}
+	}
+	if caught == 0 {
+		t.Error("no mutation was ever caught; mutation generator broken")
+	}
+	if kept == 0 {
+		t.Error("every mutation was fatal; mutation generator too aggressive to be informative")
+	}
+}
+
+// randomFeasibleSchedule packs tasks forward (ASAP/FIFO with random
+// destinations) on a random chain — feasible by construction.
+func randomFeasibleSchedule(rng *rand.Rand) *ChainSchedule {
+	p := 1 + rng.Intn(3)
+	nodes := make([]platform.Node, p)
+	for i := range nodes {
+		nodes[i] = platform.Node{
+			Comm: platform.Time(1 + rng.Intn(4)),
+			Work: platform.Time(1 + rng.Intn(4)),
+		}
+	}
+	ch := platform.Chain{Nodes: nodes}
+	n := rng.Intn(6)
+	linkFree := make([]platform.Time, p+1)
+	procFree := make([]platform.Time, p+1)
+	s := &ChainSchedule{Chain: ch}
+	for i := 0; i < n; i++ {
+		d := 1 + rng.Intn(p)
+		comms := make([]platform.Time, d)
+		var hop platform.Time
+		for k := 1; k <= d; k++ {
+			start := linkFree[k]
+			if hop > start {
+				start = hop
+			}
+			comms[k-1] = start
+			hop = start + ch.Comm(k)
+			linkFree[k] = hop
+		}
+		begin := hop
+		if procFree[d] > begin {
+			begin = procFree[d]
+		}
+		procFree[d] = begin + ch.Work(d)
+		s.Tasks = append(s.Tasks, ChainTask{Proc: d, Start: begin, Comms: comms})
+	}
+	return s
+}

@@ -1,0 +1,166 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+// SpiderTask is one scheduled task on a spider: a chain assignment plus
+// the leg it runs down. Comms[0] is both the emission on the leg's first
+// link and the occupation of the master's send port (duration c_{leg,1}).
+type SpiderTask struct {
+	// Leg is the 0-based leg index.
+	Leg int `json:"leg"`
+	ChainTask
+}
+
+// SpiderSchedule is a complete schedule of tasks on a spider.
+type SpiderSchedule struct {
+	Spider platform.Spider `json:"spider"`
+	Tasks  []SpiderTask    `json:"tasks"`
+}
+
+// Len returns the number of scheduled tasks.
+func (s *SpiderSchedule) Len() int { return len(s.Tasks) }
+
+// Makespan returns the termination date of the last task, or 0 when
+// empty.
+func (s *SpiderSchedule) Makespan() platform.Time {
+	var mk platform.Time
+	for _, t := range s.Tasks {
+		if end := t.End(s.Spider.Legs[t.Leg]); end > mk {
+			mk = end
+		}
+	}
+	return mk
+}
+
+// CountsByLeg returns the number of tasks sent down each leg.
+func (s *SpiderSchedule) CountsByLeg() []int {
+	counts := make([]int, s.Spider.NumLegs())
+	for _, t := range s.Tasks {
+		counts[t.Leg]++
+	}
+	return counts
+}
+
+// Shift translates every time in the schedule by delta.
+func (s *SpiderSchedule) Shift(delta platform.Time) {
+	for i := range s.Tasks {
+		s.Tasks[i].Start += delta
+		for k := range s.Tasks[i].Comms {
+			s.Tasks[i].Comms[k] += delta
+		}
+	}
+}
+
+// Clone deep-copies the schedule.
+func (s *SpiderSchedule) Clone() *SpiderSchedule {
+	out := &SpiderSchedule{Spider: s.Spider.Clone(), Tasks: make([]SpiderTask, len(s.Tasks))}
+	for i, t := range s.Tasks {
+		out.Tasks[i] = SpiderTask{Leg: t.Leg, ChainTask: t.ChainTask.Clone()}
+	}
+	return out
+}
+
+// Verify checks the per-leg feasibility conditions of Definition 1 and
+// the spider-specific condition that the master sends one task at a
+// time: the send of a task routed down leg b occupies the master's port
+// for [C_1, C_1 + c_{b,1}) and these intervals must be pairwise disjoint
+// (§7, Lemma 3).
+func (s *SpiderSchedule) Verify() error {
+	if err := s.Spider.Validate(); err != nil {
+		return fmt.Errorf("sched: invalid spider: %w", err)
+	}
+	// Split per leg and reuse the chain verifier for conditions (1)-(4).
+	perLeg := make([]*ChainSchedule, s.Spider.NumLegs())
+	for b := range perLeg {
+		perLeg[b] = &ChainSchedule{Chain: s.Spider.Legs[b]}
+	}
+	for i, t := range s.Tasks {
+		if t.Leg < 0 || t.Leg >= s.Spider.NumLegs() {
+			return fmt.Errorf("sched: task %d routed down leg %d, spider has %d", i+1, t.Leg, s.Spider.NumLegs())
+		}
+		perLeg[t.Leg].Tasks = append(perLeg[t.Leg].Tasks, t.ChainTask)
+	}
+	for b, cs := range perLeg {
+		if err := cs.Verify(); err != nil {
+			return fmt.Errorf("leg %d: %w", b, err)
+		}
+	}
+	// Master port: variable-length sends, so compare full intervals.
+	type send struct {
+		start, end platform.Time
+		task       int
+	}
+	sends := make([]send, 0, len(s.Tasks))
+	for i, t := range s.Tasks {
+		c := s.Spider.Legs[t.Leg].Comm(1)
+		sends = append(sends, send{start: t.Comms[0], end: t.Comms[0] + c, task: i + 1})
+	}
+	sort.Slice(sends, func(i, j int) bool { return sends[i].start < sends[j].start })
+	for i := 1; i < len(sends); i++ {
+		if sends[i].start < sends[i-1].end {
+			return fmt.Errorf("sched: master sends overlap: task %d [%d,%d) and task %d [%d,%d)",
+				sends[i-1].task, sends[i-1].start, sends[i-1].end,
+				sends[i].task, sends[i].start, sends[i].end)
+		}
+	}
+	return nil
+}
+
+// Intervals expands the schedule into resource-occupation intervals,
+// including the master's send port as resource "master".
+func (s *SpiderSchedule) Intervals() []trace.Interval {
+	var ivs []trace.Interval
+	for i, t := range s.Tasks {
+		task := i + 1
+		leg := s.Spider.Legs[t.Leg]
+		ivs = append(ivs, trace.Interval{
+			Resource: "master",
+			Task:     task,
+			Kind:     trace.Comm,
+			Start:    t.Comms[0],
+			End:      t.Comms[0] + leg.Comm(1),
+		})
+		for k := 1; k <= t.Proc; k++ {
+			ivs = append(ivs, trace.Interval{
+				Resource: fmt.Sprintf("leg %d link %d", t.Leg, k),
+				Task:     task,
+				Kind:     trace.Comm,
+				Start:    t.Comms[k-1],
+				End:      t.Comms[k-1] + leg.Comm(k),
+			})
+		}
+		arrival := t.Comms[t.Proc-1] + leg.Comm(t.Proc)
+		if arrival < t.Start {
+			ivs = append(ivs, trace.Interval{
+				Resource: fmt.Sprintf("leg %d proc %d", t.Leg, t.Proc),
+				Task:     task,
+				Kind:     trace.Wait,
+				Start:    arrival,
+				End:      t.Start,
+			})
+		}
+		ivs = append(ivs, trace.Interval{
+			Resource: fmt.Sprintf("leg %d proc %d", t.Leg, t.Proc),
+			Task:     task,
+			Kind:     trace.Exec,
+			Start:    t.Start,
+			End:      t.End(leg),
+		})
+	}
+	return ivs
+}
+
+// String summarises the schedule, one task per line.
+func (s *SpiderSchedule) String() string {
+	out := fmt.Sprintf("spider schedule: %d tasks, makespan %d\n", s.Len(), s.Makespan())
+	for i, t := range s.Tasks {
+		out += fmt.Sprintf("  task %d -> leg %d proc %d, start %d, comms %v\n", i+1, t.Leg, t.Proc, t.Start, t.Comms)
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+// twoLegSpider: leg 0 = the fixture chain (c 2,5 then 3,3), leg 1 = single
+// fast slave (c=1, w=4).
+func twoLegSpider() platform.Spider {
+	return platform.NewSpider(platform.NewChain(2, 5, 3, 3), platform.NewChain(1, 4))
+}
+
+// handSpiderSchedule: a hand-checked feasible spider schedule.
+//
+//	master port: task1 [0,2) leg0, task2 [2,3) leg1, task3 [3,5) leg0
+//	task 1: leg0 proc1, exec [2,7)
+//	task 2: leg1 proc1, exec [3,7)
+//	task 3: leg0 proc2, link2 [5,8), exec [8,11)
+func handSpiderSchedule() *SpiderSchedule {
+	return &SpiderSchedule{
+		Spider: twoLegSpider(),
+		Tasks: []SpiderTask{
+			{Leg: 0, ChainTask: ChainTask{Proc: 1, Start: 2, Comms: []platform.Time{0}}},
+			{Leg: 1, ChainTask: ChainTask{Proc: 1, Start: 3, Comms: []platform.Time{2}}},
+			{Leg: 0, ChainTask: ChainTask{Proc: 2, Start: 8, Comms: []platform.Time{3, 5}}},
+		},
+	}
+}
+
+func TestSpiderVerifyAcceptsHandSchedule(t *testing.T) {
+	s := handSpiderSchedule()
+	if err := s.Verify(); err != nil {
+		t.Fatalf("feasible spider schedule rejected: %v", err)
+	}
+	if got := s.Makespan(); got != 11 {
+		t.Errorf("Makespan = %d, want 11", got)
+	}
+	counts := s.CountsByLeg()
+	if counts[0] != 2 || counts[1] != 1 {
+		t.Errorf("CountsByLeg = %v, want [2 1]", counts)
+	}
+}
+
+func TestSpiderVerifyMasterPortOverlap(t *testing.T) {
+	s := handSpiderSchedule()
+	// Move task 2's emission into task 1's send window [0,2).
+	s.Tasks[1].Comms[0] = 1
+	s.Tasks[1].Start = 2
+	err := s.Verify()
+	if err == nil || !strings.Contains(err.Error(), "master sends overlap") {
+		t.Fatalf("master port overlap not caught: %v", err)
+	}
+}
+
+func TestSpiderVerifyMasterPortCrossLegDurations(t *testing.T) {
+	// The send duration is the FIRST link latency of the leg: a send to
+	// leg 0 occupies [0,2), so a send to leg 1 at time 1 conflicts even
+	// though leg 1's own link would be free.
+	s := &SpiderSchedule{
+		Spider: twoLegSpider(),
+		Tasks: []SpiderTask{
+			{Leg: 0, ChainTask: ChainTask{Proc: 1, Start: 2, Comms: []platform.Time{0}}},
+			{Leg: 1, ChainTask: ChainTask{Proc: 1, Start: 2, Comms: []platform.Time{1}}},
+		},
+	}
+	err := s.Verify()
+	if err == nil || !strings.Contains(err.Error(), "master sends overlap") {
+		t.Fatalf("cross-leg master conflict not caught: %v", err)
+	}
+}
+
+func TestSpiderVerifyDelegatesChainConditions(t *testing.T) {
+	s := handSpiderSchedule()
+	// Break condition 2 inside leg 0: task 3 arrives at 5+3=8.
+	s.Tasks[2].Start = 7
+	err := s.Verify()
+	if err == nil || !strings.Contains(err.Error(), "leg 0") {
+		t.Fatalf("leg condition violation not attributed: %v", err)
+	}
+}
+
+func TestSpiderVerifyStructural(t *testing.T) {
+	s := handSpiderSchedule()
+	s.Tasks[0].Leg = 5
+	if err := s.Verify(); err == nil {
+		t.Error("out-of-range leg accepted")
+	}
+	bad := &SpiderSchedule{Spider: platform.Spider{}}
+	if err := bad.Verify(); err == nil {
+		t.Error("invalid spider accepted")
+	}
+}
+
+func TestSpiderShiftAndClone(t *testing.T) {
+	s := handSpiderSchedule()
+	mk := s.Makespan()
+	s.Shift(5)
+	if err := s.Verify(); err != nil {
+		t.Fatalf("shifted schedule infeasible: %v", err)
+	}
+	if s.Makespan() != mk+5 {
+		t.Errorf("shifted makespan = %d, want %d", s.Makespan(), mk+5)
+	}
+	c := s.Clone()
+	c.Tasks[0].Comms[0] = 99
+	if s.Tasks[0].Comms[0] == 99 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestSpiderIntervals(t *testing.T) {
+	s := handSpiderSchedule()
+	ivs := s.Intervals()
+	if err := trace.CheckOverlaps(ivs); err != nil {
+		t.Fatalf("intervals overlap: %v", err)
+	}
+	// Master resource must carry one send per task.
+	var masterSends int
+	for _, iv := range ivs {
+		if iv.Resource == "master" {
+			masterSends++
+		}
+	}
+	if masterSends != s.Len() {
+		t.Errorf("master sends = %d, want %d", masterSends, s.Len())
+	}
+	res := trace.Resources(ivs)
+	joined := strings.Join(res, ",")
+	for _, want := range []string{"master", "leg 0 link 1", "leg 0 proc 2", "leg 1 proc 1"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("resources %v missing %q", res, want)
+		}
+	}
+}
+
+func TestSpiderString(t *testing.T) {
+	s := handSpiderSchedule()
+	str := s.String()
+	if !strings.Contains(str, "leg 1") || !strings.Contains(str, "makespan 11") {
+		t.Errorf("String() = %q", str)
+	}
+}

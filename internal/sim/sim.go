@@ -1,0 +1,302 @@
+// Package sim is a discrete-event simulator for master-slave tasking on
+// chains and spiders. It stands in for the real heterogeneous platforms
+// that motivate the paper (volunteer computing à la SETI@home, layered
+// networks): the simulator enforces exactly the paper's resource model —
+// one send at a time from each node, one task at a time on each link and
+// each processor, unbounded buffering at nodes, full communication/
+// computation overlap — and executes *policies* that decide online where
+// the next task goes.
+//
+// Two families of policies are provided (policies.go):
+//
+//   - replay policies (Static, Gated) that follow a precomputed
+//     destination sequence, optionally no earlier than precomputed
+//     emission times: these cross-validate the offline schedules of
+//     packages core/spider/baseline against an independent execution
+//     path;
+//   - online policies (Pull, RandomPush) that model demand-driven
+//     master-slave systems where the master cannot plan ahead.
+//
+// The simulator is deterministic: simultaneous events are processed in
+// scheduling order (a monotone sequence number).
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+// Dest addresses one processor of the spider: 0-based leg, 1-based
+// depth.
+type Dest struct {
+	Leg  int
+	Proc int
+}
+
+// String renders the destination.
+func (d Dest) String() string { return fmt.Sprintf("leg%d/proc%d", d.Leg, d.Proc) }
+
+// Policy decides, online, where the master sends the next task.
+//
+// Contract for Next: the simulator calls it whenever the master's port
+// is free. A return with ok=true and notBefore ≤ now COMMITS the
+// dispatch — the policy must advance its internal state. A return with
+// notBefore > now is a wait hint: the task is not consumed and the same
+// answer must be available again at notBefore. ok=false means nothing is
+// dispatchable; the simulator asks again after the next task completion.
+type Policy interface {
+	// Name identifies the policy in results and tables.
+	Name() string
+	// Reset prepares the policy for a fresh run of n tasks.
+	Reset(sp platform.Spider, n int)
+	// Next picks the next destination; see the interface comment for
+	// the commit/peek contract.
+	Next(now platform.Time) (d Dest, notBefore platform.Time, ok bool)
+	// TaskDone notifies the policy that a task finished at d.
+	TaskDone(now platform.Time, d Dest)
+}
+
+// Result summarises one simulation run.
+type Result struct {
+	Policy      string
+	Makespan    platform.Time
+	Completions []platform.Time // completion time per task, dispatch order
+	Dests       []Dest          // destination per task, dispatch order
+	Trace       []trace.Interval
+	// Utilisation maps resource name to total busy time; divide by
+	// Makespan for a fraction.
+	Utilisation map[string]platform.Time
+}
+
+// Event kinds, processed in (time, seq) order.
+const (
+	evWake     = iota // the master may be able to dispatch
+	evArrive          // a task finished crossing a link
+	evLinkFree        // a link is ready for its next queued crossing
+	evProcFree        // a processor finished executing a task
+)
+
+type event struct {
+	at   platform.Time
+	seq  int
+	kind int
+	task int
+	leg  int
+	dep  int // link or processor depth
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run simulates n tasks on the spider under the policy.
+func Run(sp platform.Spider, n int, pol Policy) (*Result, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("sim: negative task count %d", n)
+	}
+	s := newSim(sp, n, pol)
+	return s.run()
+}
+
+// RunChain simulates on a chain by wrapping it as a one-leg spider;
+// destinations use Leg 0 and the chain depth.
+func RunChain(ch platform.Chain, n int, pol Policy) (*Result, error) {
+	return Run(platform.NewSpider(ch), n, pol)
+}
+
+type sim struct {
+	sp  platform.Spider
+	n   int
+	pol Policy
+
+	events eventHeap
+	seq    int
+	err    error
+
+	portBusyUntil platform.Time
+	linkBusy      [][]platform.Time // [leg][depth]: busy until
+	linkQueue     [][][]int         // tasks waiting to cross [leg][depth]
+	procBusy      [][]platform.Time
+	procQueue     [][][]int
+
+	dests      []Dest
+	dispatched int
+	done       int
+
+	res *Result
+}
+
+func newSim(sp platform.Spider, n int, pol Policy) *sim {
+	s := &sim{
+		sp:  sp,
+		n:   n,
+		pol: pol,
+		res: &Result{
+			Policy:      pol.Name(),
+			Completions: make([]platform.Time, 0, n),
+			Dests:       make([]Dest, 0, n),
+			Utilisation: map[string]platform.Time{},
+		},
+	}
+	s.linkBusy = make([][]platform.Time, sp.NumLegs())
+	s.linkQueue = make([][][]int, sp.NumLegs())
+	s.procBusy = make([][]platform.Time, sp.NumLegs())
+	s.procQueue = make([][][]int, sp.NumLegs())
+	for b, leg := range sp.Legs {
+		s.linkBusy[b] = make([]platform.Time, leg.Len()+1)
+		s.linkQueue[b] = make([][]int, leg.Len()+1)
+		s.procBusy[b] = make([]platform.Time, leg.Len()+1)
+		s.procQueue[b] = make([][]int, leg.Len()+1)
+	}
+	return s
+}
+
+func (s *sim) schedule(at platform.Time, kind, task, leg, dep int) {
+	s.seq++
+	heap.Push(&s.events, event{at: at, seq: s.seq, kind: kind, task: task, leg: leg, dep: dep})
+}
+
+func (s *sim) record(resource string, task int, kind trace.Kind, start, end platform.Time) {
+	s.res.Trace = append(s.res.Trace, trace.Interval{
+		Resource: resource, Task: task, Kind: kind, Start: start, End: end,
+	})
+	s.res.Utilisation[resource] += end - start
+}
+
+func (s *sim) run() (*Result, error) {
+	s.pol.Reset(s.sp, s.n)
+	s.tryDispatch(0)
+	for s.done < s.n && s.err == nil {
+		if s.events.Len() == 0 {
+			return nil, errors.New("sim: deadlock: no events pending but tasks remain (policy starved the master)")
+		}
+		ev := heap.Pop(&s.events).(event)
+		switch ev.kind {
+		case evWake:
+			s.tryDispatch(ev.at)
+		case evArrive:
+			s.arrive(ev.at, ev.task, ev.leg, ev.dep)
+		case evLinkFree:
+			s.serveLink(ev.at, ev.leg, ev.dep)
+		case evProcFree:
+			s.procDone(ev.at, ev.task, ev.leg, ev.dep)
+		}
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+	for _, c := range s.res.Completions {
+		if c > s.res.Makespan {
+			s.res.Makespan = c
+		}
+	}
+	trace.Sort(s.res.Trace)
+	return s.res, nil
+}
+
+// tryDispatch asks the policy for the next destination if the port is
+// free and tasks remain.
+func (s *sim) tryDispatch(now platform.Time) {
+	if s.dispatched >= s.n || s.portBusyUntil > now || s.err != nil {
+		return
+	}
+	d, notBefore, ok := s.pol.Next(now)
+	if !ok {
+		return
+	}
+	if notBefore > now {
+		s.schedule(notBefore, evWake, 0, 0, 0)
+		return
+	}
+	if d.Leg < 0 || d.Leg >= s.sp.NumLegs() || d.Proc < 1 || d.Proc > s.sp.Legs[d.Leg].Len() {
+		s.err = fmt.Errorf("sim: policy %s returned invalid destination %v", s.pol.Name(), d)
+		return
+	}
+	id := s.dispatched
+	s.dispatched++
+	s.dests = append(s.dests, d)
+	s.res.Dests = append(s.res.Dests, d)
+	s.res.Completions = append(s.res.Completions, 0)
+	// The send occupies the master's port and the leg's first link for
+	// the full latency; with a one-port master the first link can never
+	// be independently busy when the port is free.
+	c1 := s.sp.Legs[d.Leg].Comm(1)
+	s.portBusyUntil = now + c1
+	s.linkBusy[d.Leg][1] = now + c1
+	s.record("master", id+1, trace.Comm, now, now+c1)
+	s.record(fmt.Sprintf("leg %d link 1", d.Leg), id+1, trace.Comm, now, now+c1)
+	s.schedule(now+c1, evArrive, id, d.Leg, 1)
+	s.schedule(now+c1, evWake, 0, 0, 0)
+}
+
+// arrive handles a task finishing the link into node dep of leg.
+func (s *sim) arrive(now platform.Time, task, leg, dep int) {
+	if dep == s.dests[task].Proc {
+		s.procQueue[leg][dep] = append(s.procQueue[leg][dep], task)
+		s.serveProc(now, leg, dep)
+		return
+	}
+	next := dep + 1
+	s.linkQueue[leg][next] = append(s.linkQueue[leg][next], task)
+	s.serveLink(now, leg, next)
+}
+
+// serveLink starts the next queued crossing if the link is idle.
+func (s *sim) serveLink(now platform.Time, leg, dep int) {
+	if s.linkBusy[leg][dep] > now || len(s.linkQueue[leg][dep]) == 0 {
+		return
+	}
+	task := s.linkQueue[leg][dep][0]
+	s.linkQueue[leg][dep] = s.linkQueue[leg][dep][1:]
+	c := s.sp.Legs[leg].Comm(dep)
+	s.linkBusy[leg][dep] = now + c
+	s.record(fmt.Sprintf("leg %d link %d", leg, dep), task+1, trace.Comm, now, now+c)
+	s.schedule(now+c, evArrive, task, leg, dep)
+	s.schedule(now+c, evLinkFree, 0, leg, dep)
+}
+
+// serveProc starts the next buffered task if the processor is idle.
+func (s *sim) serveProc(now platform.Time, leg, dep int) {
+	if s.procBusy[leg][dep] > now || len(s.procQueue[leg][dep]) == 0 {
+		return
+	}
+	task := s.procQueue[leg][dep][0]
+	s.procQueue[leg][dep] = s.procQueue[leg][dep][1:]
+	w := s.sp.Legs[leg].Work(dep)
+	s.procBusy[leg][dep] = now + w
+	s.record(fmt.Sprintf("leg %d proc %d", leg, dep), task+1, trace.Exec, now, now+w)
+	s.schedule(now+w, evProcFree, task, leg, dep)
+}
+
+// procDone completes a task: bookkeeping, policy notification, next
+// buffered task, and a dispatch attempt (completions are what unblock
+// demand-driven policies).
+func (s *sim) procDone(now platform.Time, task, leg, dep int) {
+	s.res.Completions[task] = now
+	s.done++
+	s.pol.TaskDone(now, Dest{Leg: leg, Proc: dep})
+	s.serveProc(now, leg, dep)
+	s.tryDispatch(now)
+}

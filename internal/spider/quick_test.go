@@ -1,0 +1,118 @@
+package spider
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/platform"
+)
+
+// tinySpider is a quick.Generator for small spiders.
+type tinySpider struct {
+	Spider platform.Spider
+	N      int
+}
+
+// Generate implements quick.Generator.
+func (tinySpider) Generate(r *rand.Rand, _ int) reflect.Value {
+	legs := make([]platform.Chain, 1+r.Intn(3))
+	for i := range legs {
+		depth := 1 + r.Intn(2)
+		nodes := make([]platform.Node, depth)
+		for j := range nodes {
+			nodes[j] = platform.Node{
+				Comm: platform.Time(1 + r.Intn(4)),
+				Work: platform.Time(1 + r.Intn(4)),
+			}
+		}
+		legs[i] = platform.Chain{Nodes: nodes}
+	}
+	return reflect.ValueOf(tinySpider{
+		Spider: platform.Spider{Legs: legs},
+		N:      1 + r.Intn(5),
+	})
+}
+
+// TestQuickSpiderFeasibleAndTight: MinMakespan's schedule verifies
+// (including the master port condition), meets the reported makespan,
+// and the deadline below it does not fit all tasks.
+func TestQuickSpiderFeasibleAndTight(t *testing.T) {
+	prop := func(in tinySpider) bool {
+		mk, s, err := MinMakespan(in.Spider, in.N)
+		if err != nil {
+			return false
+		}
+		if s.Verify() != nil || s.Len() != in.N || s.Makespan() > mk || mk == 0 {
+			return false
+		}
+		under, err := MaxTasks(in.Spider, in.N, mk-1)
+		if err != nil {
+			return false
+		}
+		return under < in.N
+	}
+	cfg := &quick.Config{MaxCount: 120}
+	if testing.Short() {
+		cfg.MaxCount = 25
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSpiderMonotoneInDeadline: MaxTasks never decreases as the
+// deadline grows.
+func TestQuickSpiderMonotoneInDeadline(t *testing.T) {
+	prop := func(in tinySpider, rawA, rawB uint16) bool {
+		a := platform.Time(rawA % 40)
+		b := platform.Time(rawB % 40)
+		if a > b {
+			a, b = b, a
+		}
+		ma, err := MaxTasks(in.Spider, in.N, a)
+		if err != nil {
+			return false
+		}
+		mb, err := MaxTasks(in.Spider, in.N, b)
+		if err != nil {
+			return false
+		}
+		return ma <= mb
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSpiderDominatesLegs: the spider optimum is never worse than
+// scheduling everything down the single best leg (a feasible strategy
+// the optimum subsumes).
+func TestQuickSpiderDominatesLegs(t *testing.T) {
+	prop := func(in tinySpider) bool {
+		mk, _, err := MinMakespan(in.Spider, in.N)
+		if err != nil {
+			return false
+		}
+		best := platform.MaxTime
+		for _, leg := range in.Spider.Legs {
+			single := platform.NewSpider(leg)
+			legMk, _, err := MinMakespan(single, in.N)
+			if err != nil {
+				return false
+			}
+			if legMk < best {
+				best = legMk
+			}
+		}
+		return mk <= best
+	}
+	cfg := &quick.Config{MaxCount: 80}
+	if testing.Short() {
+		cfg.MaxCount = 20
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,157 @@
+// Package spider implements the optimal spider-graph algorithm of §7 of
+// the paper, combining the backward chain algorithm (package core) with
+// the fork-graph machinery of [2] (package fork):
+//
+//  1. For every leg, the time-limited chain algorithm schedules as many
+//     tasks as fit within the deadline, anchored at the deadline.
+//  2. Each scheduled leg task i becomes a single-task virtual slave
+//     (c_first, Tlim − C_1^i − c_first): the leg promises to complete
+//     the task by Tlim provided the master starts its send by C_1^i
+//     (the Fig. 7 transformation).
+//  3. The fork packing admits a maximum subset of virtual slaves whose
+//     back-to-back sends meet every promise (Lemma 4 shows any spider
+//     schedule induces such a packing, so this is an upper bound).
+//  4. The admitted virtual slaves are reverted into an actual spider
+//     schedule: every chosen leg task keeps its in-leg trajectory and
+//     only its first send is moved earlier, to the packed slot, which
+//     preserves feasibility (Lemma 3).
+//
+// Theorem 3: the result completes the maximum possible number of tasks
+// within the deadline; binary search over the deadline then yields the
+// minimum makespan for n tasks. The overall complexity is O(n²p²)
+// (Theorem 2).
+package spider
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fork"
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// legPlans runs the time-limited chain algorithm on every leg and
+// returns the per-leg schedules plus the virtual slaves of step 2.
+func legPlans(sp platform.Spider, n int, deadline platform.Time) ([]*sched.ChainSchedule, []platform.VirtualSlave, error) {
+	plans := make([]*sched.ChainSchedule, sp.NumLegs())
+	var virt []platform.VirtualSlave
+	for b, leg := range sp.Legs {
+		plan, err := core.ScheduleWithin(leg, n, deadline)
+		if err != nil {
+			return nil, nil, fmt.Errorf("spider: leg %d: %w", b, err)
+		}
+		plans[b] = plan
+		c1 := leg.Comm(1)
+		for i, t := range plan.Tasks {
+			virt = append(virt, platform.VirtualSlave{
+				Comm: c1,
+				Proc: deadline - t.Comms[0] - c1,
+				Leg:  b,
+				Rank: i,
+			})
+		}
+	}
+	return plans, virt, nil
+}
+
+// ScheduleWithin schedules as many tasks as possible — at most n —
+// on the spider completing within [0, deadline] (Theorem 3).
+func ScheduleWithin(sp platform.Spider, n int, deadline platform.Time) (*sched.SpiderSchedule, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("spider: negative task count %d", n)
+	}
+	if deadline < 0 {
+		return nil, fmt.Errorf("spider: negative deadline %d", deadline)
+	}
+	plans, virt, err := legPlans(sp, n, deadline)
+	if err != nil {
+		return nil, err
+	}
+	alloc, err := fork.Pack(virt, n, deadline)
+	if err != nil {
+		return nil, err
+	}
+	// Revert (Lemma 3): the chosen virtual slave (leg b, rank i) is leg
+	// b's i-th scheduled task with its first send moved to the packed
+	// slot. The packing guarantees EmitStart ≤ the original C_1^i, so
+	// moving the send earlier keeps condition (1); port slots are
+	// pairwise disjoint by construction.
+	s := &sched.SpiderSchedule{Spider: sp}
+	for _, c := range alloc.Slaves {
+		t := plans[c.Leg].Tasks[c.Rank].Clone()
+		if c.EmitStart > t.Comms[0] {
+			return nil, fmt.Errorf("spider: internal error: packed send %d after promised latest %d", c.EmitStart, t.Comms[0])
+		}
+		t.Comms[0] = c.EmitStart
+		s.Tasks = append(s.Tasks, sched.SpiderTask{Leg: c.Leg, ChainTask: t})
+	}
+	return s, nil
+}
+
+// MaxTasks returns how many of at most n tasks complete within the
+// deadline.
+func MaxTasks(sp platform.Spider, n int, deadline platform.Time) (int, error) {
+	s, err := ScheduleWithin(sp, n, deadline)
+	if err != nil {
+		return 0, err
+	}
+	return s.Len(), nil
+}
+
+// MinMakespan returns the optimal makespan for exactly n tasks on the
+// spider and a schedule achieving it, by binary search on the deadline
+// (the maximum task count within a deadline is non-decreasing in the
+// deadline, so feasibility of n tasks is monotone).
+func MinMakespan(sp platform.Spider, n int) (platform.Time, *sched.SpiderSchedule, error) {
+	if err := sp.Validate(); err != nil {
+		return 0, nil, err
+	}
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("spider: task count %d is not positive", n)
+	}
+	fits := func(deadline platform.Time) (bool, error) {
+		m, err := MaxTasks(sp, n, deadline)
+		if err != nil {
+			return false, err
+		}
+		return m == n, nil
+	}
+	lo, hi := platform.Time(1), sp.MasterOnlyMakespan(n)
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		ok, err := fits(mid)
+		if err != nil {
+			return 0, nil, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	s, err := ScheduleWithin(sp, n, lo)
+	if err != nil {
+		return 0, nil, err
+	}
+	if s.Len() != n {
+		return 0, nil, fmt.Errorf("spider: internal error: %d tasks at deadline %d, want %d", s.Len(), lo, n)
+	}
+	return lo, s, nil
+}
+
+// Schedule is MinMakespan returning only the schedule; it is the
+// spider-side analogue of core.Schedule.
+func Schedule(sp platform.Spider, n int) (*sched.SpiderSchedule, error) {
+	if n == 0 {
+		if err := sp.Validate(); err != nil {
+			return nil, err
+		}
+		return &sched.SpiderSchedule{Spider: sp}, nil
+	}
+	_, s, err := MinMakespan(sp, n)
+	return s, err
+}

@@ -1,0 +1,113 @@
+package tree
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+)
+
+// flatNode is the array form of the tree used by the forward simulator.
+type flatNode struct {
+	comm, work platform.Time
+	parent     int // -1 for root children (parent = master)
+}
+
+// flatten lists the tree's nodes in DFS order; index 0..len-1 are node
+// ids, the master is id -1.
+func flatten(t Tree) []flatNode {
+	var out []flatNode
+	var walk func(n Node, parent int)
+	walk = func(n Node, parent int) {
+		id := len(out)
+		out = append(out, flatNode{comm: n.Comm, work: n.Work, parent: parent})
+		for _, c := range n.Children {
+			walk(c, id)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r, -1)
+	}
+	return out
+}
+
+// pathTo returns the node ids from a root child down to dest.
+func pathTo(nodes []flatNode, dest int) []int {
+	var rev []int
+	for u := dest; u != -1; u = nodes[u].parent {
+		rev = append(rev, u)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// forwardMakespan simulates the destination sequence ASAP with FIFO
+// forwarding at every node. Each node (and the master, id -1) has a
+// one-port sender; the send into node u occupies the parent's port for
+// comm(u). FIFO forwarding at inner nodes is lossless here: arrivals at
+// any inner node are strictly ordered (its single incoming link
+// serialises them), and an exchange argument swaps identical tasks so
+// that port slots are consumed in arrival order; the master's ordering
+// freedom is exactly the enumeration over destination sequences.
+func forwardMakespan(nodes []flatNode, dests []int, sendFree, procFree []platform.Time) platform.Time {
+	// sendFree[0] is the master; sendFree[u+1] is node u.
+	for i := range sendFree {
+		sendFree[i] = 0
+	}
+	for i := range procFree {
+		procFree[i] = 0
+	}
+	var mk platform.Time
+	for _, dest := range dests {
+		at := platform.Time(0) // availability of the task at the current hop's sender
+		for _, u := range pathTo(nodes, dest) {
+			sender := nodes[u].parent + 1
+			start := max(at, sendFree[sender])
+			at = start + nodes[u].comm
+			sendFree[sender] = at
+		}
+		begin := max(at, procFree[dest])
+		procFree[dest] = begin + nodes[dest].work
+		if procFree[dest] > mk {
+			mk = procFree[dest]
+		}
+	}
+	return mk
+}
+
+// Brute returns the exact optimal makespan of n tasks on the tree by
+// exhaustive search over destination sequences with the FIFO/ASAP
+// forward simulation. Exponential in n; for validation only.
+func Brute(t Tree, n int) (platform.Time, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("tree: negative task count %d", n)
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	nodes := flatten(t)
+	p := len(nodes)
+	sendFree := make([]platform.Time, p+1)
+	procFree := make([]platform.Time, p)
+	dests := make([]int, n)
+	best := platform.MaxTime
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			if mk := forwardMakespan(nodes, dests, sendFree, procFree); mk < best {
+				best = mk
+			}
+			return
+		}
+		for d := 0; d < p; d++ {
+			dests[i] = d
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best, nil
+}

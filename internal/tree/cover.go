@@ -1,0 +1,90 @@
+package tree
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/baseline"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/spider"
+)
+
+// Cover is a spider extracted from a tree: one downward path per root
+// child. Paths index nodes by child positions from the root, so a
+// schedule on the spider maps back onto tree nodes.
+type Cover struct {
+	Spider platform.Spider
+	// Paths[b][d-1] is the child index taken at depth d-1 along leg b.
+	Paths [][]int
+}
+
+// SpiderCover extracts the covering spider suggested by §8: for every
+// subtree hanging off the master, keep the single downward path with the
+// highest steady-state rate (ties: the shorter, then first-found path).
+// Only covered nodes are used by the scheduling heuristic; the remaining
+// nodes idle, which keeps every produced schedule feasible on the tree.
+func SpiderCover(t Tree) (*Cover, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	cov := &Cover{}
+	for _, root := range t.Roots {
+		chain, path := bestPath(root)
+		cov.Spider.Legs = append(cov.Spider.Legs, chain)
+		cov.Paths = append(cov.Paths, path)
+	}
+	return cov, nil
+}
+
+// bestPath returns the downward path from root with the maximal chain
+// steady-state rate. Ties prefer the longer path: extending a chain
+// never lowers its rate, and the optimal spider scheduler can always
+// ignore surplus tail processors, so extra coverage is free.
+func bestPath(root Node) (platform.Chain, []int) {
+	var (
+		bestChain platform.Chain
+		bestPath  []int
+		bestRate  *big.Rat
+	)
+	var walk func(n Node, nodes []platform.Node, path []int)
+	walk = func(n Node, nodes []platform.Node, path []int) {
+		nodes = append(nodes, platform.Node{Comm: n.Comm, Work: n.Work})
+		candidate := platform.Chain{Nodes: nodes}
+		rate, err := baseline.ChainRate(candidate)
+		if err == nil {
+			better := bestRate == nil || rate.Cmp(bestRate) > 0 ||
+				(rate.Cmp(bestRate) == 0 && len(nodes) > bestChain.Len())
+			if better {
+				bestChain = candidate.Clone()
+				bestPath = append([]int(nil), path...)
+				bestRate = rate
+			}
+		}
+		for i, c := range n.Children {
+			walk(c, nodes, append(path, i))
+		}
+	}
+	walk(root, nil, nil)
+	return bestChain, bestPath
+}
+
+// Schedule schedules n tasks on the tree with the covering heuristic:
+// optimal spider scheduling (Theorem 3) restricted to the covered paths.
+// The result is the makespan, the schedule expressed on the covering
+// spider and the cover itself. The heuristic is exact whenever the tree
+// already is a spider (the cover is then the whole tree).
+func Schedule(t Tree, n int) (platform.Time, *sched.SpiderSchedule, *Cover, error) {
+	cov, err := SpiderCover(t)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if n == 0 {
+		return 0, &sched.SpiderSchedule{Spider: cov.Spider}, cov, nil
+	}
+	mk, s, err := spider.MinMakespan(cov.Spider, n)
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("tree: scheduling cover: %w", err)
+	}
+	return mk, s, cov, nil
+}

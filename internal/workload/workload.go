@@ -1,0 +1,149 @@
+// Package workload provides the named platform instances used by the
+// reproduction experiments, examples and documentation: the paper's own
+// worked example, scenarios modelled on the applications its
+// introduction cites (volunteer computing, layered networks), and
+// regression families (bus, star, homogeneous pipelines) connecting to
+// the related work of §1.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+)
+
+// Fig2Chain is the chain of the paper's Fig. 2 worked example: two
+// processors with c = (2, 3) and w = (3, 5). The figure's labels are
+// ambiguous in the available scan, but this assignment is pinned by
+// Fig. 7: at Tlim = 14 (the optimal 5-task makespan) the chain-to-fork
+// transformation yields virtual processing times {12, 10, 8, 6, 3} with
+// the time-8 slave on processor 2, exactly the values the paper prints
+// ("the task that was scheduled on the second processor corresponds to
+// the node with processing time 8"). See TestFig2GoldenReconstruction.
+func Fig2Chain() platform.Chain { return platform.NewChain(2, 3, 3, 5) }
+
+// Fig2TaskCount is the task count used throughout the Fig. 2/Fig. 7
+// reproduction (five tasks fill the example's horizon).
+const Fig2TaskCount = 5
+
+// Fig5Spider is a spider in the spirit of the paper's Fig. 5 sketch:
+// one master with four legs of mixed depths.
+func Fig5Spider() platform.Spider {
+	return platform.NewSpider(
+		platform.NewChain(2, 5, 3, 3),
+		platform.NewChain(1, 4),
+		platform.NewChain(2, 2, 2, 2),
+		platform.NewChain(4, 1),
+	)
+}
+
+// VolunteerSpider models the volunteer-computing platforms of the
+// introduction (SETI@home, GIMPS): a master with many single-processor
+// legs of wildly heterogeneous link and compute speeds — a few LAN
+// workstations, a batch of DSL home machines and some slow modem
+// volunteers with fast CPUs.
+func VolunteerSpider() platform.Spider {
+	legs := []platform.Chain{
+		// LAN workstations: fast links, medium CPUs.
+		platform.NewChain(1, 6),
+		platform.NewChain(1, 7),
+		platform.NewChain(1, 6),
+		// DSL volunteers: medium links, mixed CPUs.
+		platform.NewChain(3, 4),
+		platform.NewChain(3, 12),
+		platform.NewChain(4, 5),
+		// Modem volunteers: slow links, fast or slow CPUs.
+		platform.NewChain(9, 2),
+		platform.NewChain(10, 15),
+	}
+	return platform.Spider{Legs: legs}
+}
+
+// LayeredChain models Li [7]: a homogeneous grid of depth layers with
+// multi-port communication reduces to a heterogeneous chain whose layer
+// k aggregates the k-th "ring" of the grid — links keep the per-hop
+// latency while the aggregated compute speed grows with the layer size,
+// here the 2D-grid pattern where layer k holds 4k processors (so the
+// aggregate w shrinks roughly as w0/(4k), floored at 1).
+func LayeredChain(depth int, hop, w0 platform.Time) platform.Chain {
+	nodes := make([]platform.Node, depth)
+	for k := range nodes {
+		agg := w0 / platform.Time(4*(k+1))
+		if agg < 1 {
+			agg = 1
+		}
+		nodes[k] = platform.Node{Comm: hop, Work: agg}
+	}
+	return platform.Chain{Nodes: nodes}
+}
+
+// BusFork models the bus network of Sohn–Robertazzi [10]: homogeneous
+// communication (the shared bus) with heterogeneous computation.
+func BusFork(bus platform.Time, works ...platform.Time) platform.Fork {
+	slaves := make([]platform.Node, len(works))
+	for i, w := range works {
+		slaves[i] = platform.Node{Comm: bus, Work: w}
+	}
+	return platform.Fork{Slaves: slaves}
+}
+
+// HeterogeneousStar models Charcranoon–Robertazzi–Luryi [4]: both the
+// links and the processors differ.
+func HeterogeneousStar() platform.Fork {
+	return platform.NewFork(
+		1, 5,
+		2, 3,
+		3, 2,
+		5, 1,
+	)
+}
+
+// Pipeline returns a homogeneous chain (every hop c, every processor w)
+// of the given depth — the degenerate case where heterogeneity-aware
+// scheduling should match simple heuristics most closely.
+func Pipeline(depth int, c, w platform.Time) platform.Chain {
+	nodes := make([]platform.Node, depth)
+	for k := range nodes {
+		nodes[k] = platform.Node{Comm: c, Work: w}
+	}
+	return platform.Chain{Nodes: nodes}
+}
+
+// Named returns the named scenario platforms as tagged values for CLI
+// and documentation use. Chains, spiders and forks are returned under
+// separate maps to keep types honest.
+func Named() (chains map[string]platform.Chain, spiders map[string]platform.Spider, forks map[string]platform.Fork) {
+	chains = map[string]platform.Chain{
+		"fig2":     Fig2Chain(),
+		"layered":  LayeredChain(4, 2, 16),
+		"pipeline": Pipeline(4, 2, 3),
+	}
+	spiders = map[string]platform.Spider{
+		"fig5":      Fig5Spider(),
+		"volunteer": VolunteerSpider(),
+	}
+	forks = map[string]platform.Fork{
+		"bus":  BusFork(2, 3, 5, 7, 9),
+		"star": HeterogeneousStar(),
+	}
+	return chains, spiders, forks
+}
+
+// Describe returns a one-line description for a named scenario, or an
+// error for unknown names.
+func Describe(name string) (string, error) {
+	descriptions := map[string]string{
+		"fig2":      "the paper's Fig. 2 worked example: chain c=(2,3), w=(3,5)",
+		"fig5":      "a four-leg spider in the spirit of the paper's Fig. 5",
+		"layered":   "Li [7]-style layered grid reduced to a heterogeneous chain",
+		"pipeline":  "homogeneous chain (regression case)",
+		"volunteer": "volunteer-computing spider (SETI@home-style heterogeneity)",
+		"bus":       "Sohn-Robertazzi [10] bus: equal links, unequal processors",
+		"star":      "Charcranoon-Robertazzi-Luryi [4] heterogeneous star",
+	}
+	d, ok := descriptions[name]
+	if !ok {
+		return "", fmt.Errorf("workload: unknown scenario %q", name)
+	}
+	return d, nil
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func TestAllNamedScenariosValidate(t *testing.T) {
+	chains, spiders, forks := Named()
+	if len(chains) == 0 || len(spiders) == 0 || len(forks) == 0 {
+		t.Fatal("scenario maps empty")
+	}
+	for name, ch := range chains {
+		if err := ch.Validate(); err != nil {
+			t.Errorf("chain %q invalid: %v", name, err)
+		}
+		if _, err := Describe(name); err != nil {
+			t.Errorf("chain %q undescribed: %v", name, err)
+		}
+	}
+	for name, sp := range spiders {
+		if err := sp.Validate(); err != nil {
+			t.Errorf("spider %q invalid: %v", name, err)
+		}
+		if _, err := Describe(name); err != nil {
+			t.Errorf("spider %q undescribed: %v", name, err)
+		}
+	}
+	for name, f := range forks {
+		if err := f.Validate(); err != nil {
+			t.Errorf("fork %q invalid: %v", name, err)
+		}
+		if _, err := Describe(name); err != nil {
+			t.Errorf("fork %q undescribed: %v", name, err)
+		}
+	}
+}
+
+func TestFig2ChainMatchesPaper(t *testing.T) {
+	ch := Fig2Chain()
+	if ch.Len() != 2 {
+		t.Fatalf("p = %d, want 2", ch.Len())
+	}
+	if ch.Comm(1) != 2 || ch.Work(1) != 3 || ch.Comm(2) != 3 || ch.Work(2) != 5 {
+		t.Errorf("chain = %v, want c=(2,3) w=(3,5)", ch)
+	}
+}
+
+func TestLayeredChainShape(t *testing.T) {
+	ch := LayeredChain(4, 2, 16)
+	if ch.Len() != 4 {
+		t.Fatalf("depth = %d, want 4", ch.Len())
+	}
+	// Layer k aggregates 4k processors: w = 16/4=4, 16/8=2, 16/12->1, 16/16=1.
+	wantW := []platform.Time{4, 2, 1, 1}
+	for k := 1; k <= 4; k++ {
+		if ch.Comm(k) != 2 {
+			t.Errorf("layer %d hop = %d, want 2", k, ch.Comm(k))
+		}
+		if ch.Work(k) != wantW[k-1] {
+			t.Errorf("layer %d work = %d, want %d", k, ch.Work(k), wantW[k-1])
+		}
+	}
+	// Aggregate compute never increases with depth.
+	for k := 2; k <= ch.Len(); k++ {
+		if ch.Work(k) > ch.Work(k-1) {
+			t.Errorf("layer %d slower than layer %d", k, k-1)
+		}
+	}
+}
+
+func TestBusForkHomogeneousLinks(t *testing.T) {
+	f := BusFork(3, 5, 7, 9)
+	if f.Len() != 3 {
+		t.Fatalf("len = %d, want 3", f.Len())
+	}
+	for i, s := range f.Slaves {
+		if s.Comm != 3 {
+			t.Errorf("slave %d link %d, want bus latency 3", i, s.Comm)
+		}
+	}
+	if f.Slaves[0].Work != 5 || f.Slaves[2].Work != 9 {
+		t.Errorf("works = %v", f.Slaves)
+	}
+}
+
+func TestPipelineHomogeneous(t *testing.T) {
+	ch := Pipeline(5, 2, 3)
+	if ch.Len() != 5 {
+		t.Fatalf("len = %d", ch.Len())
+	}
+	for k := 1; k <= 5; k++ {
+		if ch.Comm(k) != 2 || ch.Work(k) != 3 {
+			t.Errorf("node %d = (%d,%d), want (2,3)", k, ch.Comm(k), ch.Work(k))
+		}
+	}
+}
+
+func TestVolunteerSpiderIsHeterogeneous(t *testing.T) {
+	sp := VolunteerSpider()
+	if sp.NumLegs() < 5 {
+		t.Fatalf("only %d legs", sp.NumLegs())
+	}
+	// There must be both fast and slow links (at least 5x apart) to make
+	// the scenario meaningfully heterogeneous.
+	minC, maxC := platform.MaxTime, platform.Time(0)
+	for _, leg := range sp.Legs {
+		if c := leg.Comm(1); c < minC {
+			minC = c
+		}
+		if c := leg.Comm(1); c > maxC {
+			maxC = c
+		}
+	}
+	if maxC < 5*minC {
+		t.Errorf("link spread %d..%d too narrow for a volunteer scenario", minC, maxC)
+	}
+}
+
+func TestDescribeUnknown(t *testing.T) {
+	if _, err := Describe("no-such-scenario"); err == nil {
+		t.Error("unknown scenario described")
+	}
+}

@@ -1,0 +1,150 @@
+package repro_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	// The README quickstart, as a test: build the Fig. 2 chain,
+	// schedule five tasks, verify, render.
+	ch := repro.NewChain(2, 5, 3, 3)
+	s, err := repro.ScheduleChain(ch, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatalf("optimal schedule must verify: %v", err)
+	}
+	if s.Makespan() <= 0 {
+		t.Fatalf("makespan = %d", s.Makespan())
+	}
+	chart := repro.GanttASCII(s.Intervals(), 1)
+	if !strings.Contains(chart, "proc 1") {
+		t.Errorf("chart missing rows:\n%s", chart)
+	}
+	svg := repro.GanttSVG(s.Intervals(), 8)
+	if !strings.HasPrefix(svg, "<svg") {
+		t.Error("SVG rendering broken")
+	}
+}
+
+func TestSpiderFacade(t *testing.T) {
+	sp := repro.NewSpider(
+		repro.NewChain(2, 5, 3, 3),
+		repro.NewChain(1, 4),
+	)
+	mk, s, err := repro.SpiderMinMakespan(sp, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	if s.Makespan() > mk {
+		t.Errorf("schedule makespan %d exceeds optimum %d", s.Makespan(), mk)
+	}
+	s2, err := repro.ScheduleSpider(sp, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Makespan() != mk {
+		t.Errorf("ScheduleSpider makespan %d, want %d", s2.Makespan(), mk)
+	}
+	within, err := repro.ScheduleSpiderWithin(sp, 6, mk-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if within.Len() >= 6 {
+		t.Errorf("deadline mk-1 still fits %d tasks", within.Len())
+	}
+}
+
+func TestForkFacade(t *testing.T) {
+	f := repro.NewFork(1, 3, 2, 2)
+	mk, s, err := repro.ForkMinMakespan(f, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	m, err := repro.ForkMaxTasks(f, 10, mk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m < 4 {
+		t.Errorf("at the 4-task optimum %d only %d tasks fit", mk, m)
+	}
+}
+
+func TestBoundsFacade(t *testing.T) {
+	ch := repro.NewChain(2, 5, 3, 3)
+	rate, err := repro.ChainThroughput(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate.Sign() <= 0 {
+		t.Error("non-positive throughput")
+	}
+	lb, err := repro.ChainLowerBound(ch, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := repro.ScheduleChain(ch, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb > s.Makespan() {
+		t.Errorf("lower bound %d exceeds optimum %d", lb, s.Makespan())
+	}
+
+	sp := repro.NewSpider(ch, repro.NewChain(1, 4))
+	if _, err := repro.SpiderThroughput(sp); err != nil {
+		t.Fatal(err)
+	}
+	slb, err := repro.SpiderLowerBound(sp, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk, _, err := repro.SpiderMinMakespan(sp, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slb > mk {
+		t.Errorf("spider lower bound %d exceeds optimum %d", slb, mk)
+	}
+}
+
+func TestChainWithinFacade(t *testing.T) {
+	ch := repro.NewChain(2, 5, 3, 3)
+	s, err := repro.ScheduleChain(ch, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within, err := repro.ScheduleChainWithin(ch, 5, s.Makespan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if within.Len() != 5 {
+		t.Errorf("deadline = optimum fits %d tasks, want 5", within.Len())
+	}
+}
+
+func TestIntervalCSVExport(t *testing.T) {
+	ch := repro.NewChain(2, 5)
+	s, err := repro.ScheduleChain(ch, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := repro.WriteIntervalsCSV(&buf, s.Intervals()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "resource,task,kind,start,end\n") {
+		t.Errorf("CSV header missing:\n%s", buf.String())
+	}
+}
