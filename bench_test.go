@@ -115,7 +115,9 @@ func BenchmarkForkMinMakespan(b *testing.B) {
 }
 
 func BenchmarkSpiderMinMakespan(b *testing.B) {
-	// E5c/E7: Theorem 2 polynomiality of the spider algorithm.
+	// E5c/E7: Theorem 2 polynomiality of the spider algorithm, via the
+	// memoized solver (one backward construction per leg, amortised over
+	// the deadline binary search).
 	g := platform.MustGenerator(5, 1, 9, platform.Uniform)
 	sp := g.Spider(4, 3)
 	for _, n := range []int{32, 128, 512} {
@@ -123,6 +125,23 @@ func BenchmarkSpiderMinMakespan(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := spider.MinMakespan(sp, n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSpiderMinMakespanReference(b *testing.B) {
+	// The unmemoized reference path on the same instances, kept so the
+	// memoization's win stays measurable side by side.
+	g := platform.MustGenerator(5, 1, 9, platform.Uniform)
+	sp := g.Spider(4, 3)
+	for _, n := range []int{32, 128, 512} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := spider.ReferenceMinMakespan(sp, n); err != nil {
 					b.Fatal(err)
 				}
 			}

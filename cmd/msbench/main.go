@@ -7,6 +7,13 @@
 //	msbench -run E1,E4      # selected experiments
 //	msbench -list           # list experiments
 //	msbench -csv dir/       # also dump each table as CSV under dir/
+//	msbench -json file      # dump the E5/E5c regression baseline as JSON
+//
+// The -json dump measures the hot-path families (chain and spider
+// solvers) with a calibration workload and writes a machine-portable
+// baseline; the committed BENCH_seed.json froze the seed-era numbers
+// (add -reference to reproduce that mode) and the regression test in
+// this package flags >20% slowdowns against it.
 package main
 
 import (
@@ -31,12 +38,31 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("msbench", flag.ContinueOnError)
 	var (
-		list   = fs.Bool("list", false, "list experiments and exit")
-		runIDs = fs.String("run", "", "comma-separated experiment IDs (default: all)")
-		csvDir = fs.String("csv", "", "also write each table as CSV under this directory")
+		list     = fs.Bool("list", false, "list experiments and exit")
+		runIDs   = fs.String("run", "", "comma-separated experiment IDs (default: all)")
+		csvDir   = fs.String("csv", "", "also write each table as CSV under this directory")
+		jsonPath = fs.String("json", "", "measure the E5/E5c regression families and write the baseline JSON here")
+		refSolve = fs.Bool("reference", false, "with -json: measure the spider family with the unmemoized reference solver")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *jsonPath != "" {
+		b, err := experiments.MeasureBenchBaseline(*refSolve)
+		if err != nil {
+			return fmt.Errorf("measuring bench baseline: %w", err)
+		}
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return fmt.Errorf("writing bench baseline: %w", err)
+		}
+		defer f.Close()
+		if err := b.WriteJSON(f); err != nil {
+			return fmt.Errorf("writing bench baseline: %w", err)
+		}
+		fmt.Fprintf(out, "wrote %d baseline points to %s (%s)\n", len(b.Points), *jsonPath, b.Note)
+		return nil
 	}
 
 	all := experiments.All()

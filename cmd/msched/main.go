@@ -9,7 +9,10 @@
 //
 // The chain/spider specs are (c,w) pairs; see cmd/msgen to generate
 // platform files. With -deadline the tool maximises the number of tasks
-// completed by the deadline instead of minimising the makespan.
+// completed by the deadline instead of minimising the makespan. The
+// -slow flag routes spider scheduling through the unmemoized reference
+// solver (identical output, rebuilt from scratch at every deadline
+// probe) for cross-checking the fast path in the field.
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/platform"
 	"repro/internal/sched"
+	"repro/internal/spider"
 )
 
 func main() {
@@ -43,6 +47,7 @@ func run(args []string, out io.Writer) error {
 		scale      = fs.Int64("scale", 1, "Gantt time units per character")
 		svgPath    = fs.String("svg", "", "also write an SVG Gantt chart to this file")
 		jsonPath   = fs.String("json", "", "also write the schedule as JSON to this file")
+		slow       = fs.Bool("slow", false, "use the unmemoized reference spider solver (identical schedules; for cross-checking)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,7 +62,7 @@ func run(args []string, out io.Writer) error {
 	case ch != nil:
 		return scheduleChain(out, *ch, *n, *deadline, *showGantt, platform.Time(*scale), *svgPath, *jsonPath)
 	default:
-		return scheduleSpider(out, *sp, *n, *deadline, *showGantt, platform.Time(*scale), *svgPath, *jsonPath)
+		return scheduleSpider(out, *sp, *n, *deadline, *slow, *showGantt, platform.Time(*scale), *svgPath, *jsonPath)
 	}
 }
 
@@ -148,14 +153,19 @@ func scheduleChain(out io.Writer, ch platform.Chain, n int, deadline int64, show
 	return nil
 }
 
-func scheduleSpider(out io.Writer, sp platform.Spider, n int, deadline int64, showGantt bool, scale platform.Time, svgPath, jsonPath string) error {
+func scheduleSpider(out io.Writer, sp platform.Spider, n int, deadline int64, slow, showGantt bool, scale platform.Time, svgPath, jsonPath string) error {
 	var (
 		s   *sched.SpiderSchedule
 		err error
 	)
-	if deadline >= 0 {
+	switch {
+	case deadline >= 0 && slow:
+		s, err = spider.ReferenceScheduleWithin(sp, n, platform.Time(deadline))
+	case deadline >= 0:
 		s, err = repro.ScheduleSpiderWithin(sp, n, platform.Time(deadline))
-	} else {
+	case slow:
+		s, err = spider.ReferenceSchedule(sp, n)
+	default:
 		s, err = repro.ScheduleSpider(sp, n)
 	}
 	if err != nil {

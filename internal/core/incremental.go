@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// Engine exposes the backward construction of §3 as a reusable,
+// incremental API: callers place tasks one at a time instead of asking
+// for a complete schedule. Tasks come out in backward order (the last
+// task of the final schedule first) with absolute times anchored at the
+// engine's horizon.
+//
+// The construction is prefix-stable: the first k placements do not
+// depend on how many more will follow, so an Engine extended from k to
+// k+1 tasks reuses all the work done for k. It is also
+// translation-invariant in the horizon — every quantity the placement
+// rule inspects is either a difference of times or a comparison that a
+// common shift leaves unchanged (VecLess compares coordinates and
+// lengths only) — so the placements toward horizon H are exactly the
+// placements toward horizon 0 shifted by H.
+type Engine struct {
+	inner engine
+}
+
+// NewEngine returns an engine anchored at the given horizon. The chain
+// must be valid.
+func NewEngine(ch platform.Chain, horizon platform.Time) (*Engine, error) {
+	if err := ch.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{inner: *newEngine(ch, horizon)}, nil
+}
+
+// Peek computes the next backward placement without committing it.
+func (e *Engine) Peek() sched.ChainTask {
+	t, _ := e.inner.placeNext()
+	return t
+}
+
+// Extend places and commits the next backward task and returns it.
+// Successive first emissions strictly decrease (each new candidate is
+// hulled below the previous emission by at least c_1 ≥ 1), so extending
+// walks monotonically toward −∞; the caller decides when to stop.
+func (e *Engine) Extend() sched.ChainTask {
+	t, _ := e.inner.placeNext()
+	e.inner.commit(t)
+	return t
+}
+
+// Incremental is a memoized chain plan: the backward construction of §3
+// anchored at horizon 0 and grown lazily. Because the construction is
+// prefix-stable and translation-invariant (see Engine), the single
+// cached backward sequence answers every (task count, deadline) query:
+//
+//   - Schedule(n) is the first n backward placements, reversed and
+//     shifted so the first emission lands at 0 — identical to
+//     core.Schedule(ch, n);
+//   - ScheduleWithin(n, Tlim) is the longest backward prefix whose
+//     shifted emissions stay non-negative, capped at n — identical to
+//     core.ScheduleWithin(ch, n, Tlim);
+//   - FitWithin(n, Tlim) is just that prefix length, found by binary
+//     search over the strictly decreasing cached emissions.
+//
+// Amortised over a sequence of queries (the spider solver probes many
+// deadlines during its binary search), each new task costs O(p²) once
+// and every further query costs O(log n) — instead of O(n·p²) per
+// probe. Incremental is not safe for concurrent use.
+type Incremental struct {
+	ch  platform.Chain
+	eng *Engine
+	// backward[i] is the i-th backward placement, times relative to
+	// horizon 0 (first emissions are ≤ 0 and strictly decreasing).
+	backward []sched.ChainTask
+}
+
+// NewIncremental builds an empty memoized plan for the chain.
+func NewIncremental(ch platform.Chain) (*Incremental, error) {
+	eng, err := NewEngine(ch, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Incremental{ch: ch, eng: eng}, nil
+}
+
+// Chain returns the chain the plan schedules on.
+func (inc *Incremental) Chain() platform.Chain { return inc.ch }
+
+// Len returns how many backward placements are cached so far.
+func (inc *Incremental) Len() int { return len(inc.backward) }
+
+// Grow extends the cache to at least k backward placements.
+func (inc *Incremental) Grow(k int) {
+	for len(inc.backward) < k {
+		inc.backward = append(inc.backward, inc.eng.Extend())
+	}
+}
+
+// Emission returns the (relative, ≤ 0) first emission of the i-th
+// backward placement, growing the cache as needed.
+func (inc *Incremental) Emission(i int) platform.Time {
+	inc.Grow(i + 1)
+	return inc.backward[i].Comms[0]
+}
+
+// Backward returns the i-th backward placement (shared storage; callers
+// must Clone before mutating), growing the cache as needed.
+func (inc *Incremental) Backward(i int) sched.ChainTask {
+	inc.Grow(i + 1)
+	return inc.backward[i]
+}
+
+// FitWithin returns how many of at most n tasks complete within
+// [0, deadline]: the longest backward prefix whose emissions, shifted
+// by the deadline, stay non-negative. The cache is grown by galloping —
+// doubling — until it either holds n placements or provably covers the
+// deadline, then binary search over the strictly decreasing emissions
+// finds the cut.
+func (inc *Incremental) FitWithin(n int, deadline platform.Time) int {
+	if n <= 0 || deadline < 0 {
+		return 0
+	}
+	for len(inc.backward) < n && (len(inc.backward) == 0 || inc.backward[len(inc.backward)-1].Comms[0]+deadline >= 0) {
+		inc.Grow(min(n, max(4, 2*len(inc.backward))))
+	}
+	limit := min(len(inc.backward), n)
+	k := sort.Search(limit, func(i int) bool {
+		return inc.backward[i].Comms[0]+deadline < 0
+	})
+	return k
+}
+
+// ScheduleWithin materialises the schedule behind FitWithin(n, deadline):
+// the fitting backward prefix reversed into emission order and shifted
+// by the deadline into absolute times. It matches core.ScheduleWithin.
+func (inc *Incremental) ScheduleWithin(n int, deadline platform.Time) (*sched.ChainSchedule, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("core: negative task count %d", n)
+	}
+	if deadline < 0 {
+		return nil, fmt.Errorf("core: negative deadline %d", deadline)
+	}
+	k := inc.FitWithin(n, deadline)
+	return inc.materialise(k, deadline), nil
+}
+
+// Schedule materialises the makespan-optimal schedule of exactly n
+// tasks, shifted to start at time 0. It matches core.Schedule.
+func (inc *Incremental) Schedule(n int) (*sched.ChainSchedule, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("core: negative task count %d", n)
+	}
+	inc.Grow(n)
+	var shift platform.Time
+	if n > 0 {
+		shift = -inc.backward[n-1].Comms[0]
+	}
+	return inc.materialise(n, shift), nil
+}
+
+// materialise reverses the first k backward placements into emission
+// order, shifted by delta.
+func (inc *Incremental) materialise(k int, delta platform.Time) *sched.ChainSchedule {
+	s := &sched.ChainSchedule{Chain: inc.ch, Tasks: make([]sched.ChainTask, k)}
+	for i := 0; i < k; i++ {
+		s.Tasks[k-1-i] = inc.backward[i].Shifted(delta)
+	}
+	return s
+}

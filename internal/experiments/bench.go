@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/spider"
+)
+
+// This file is the benchmark-regression tooling behind msbench -json:
+// it measures the E5 (chain) and E5c (spider) hot-path families with a
+// noise-robust min-of-reps harness, dumps them as a JSON baseline
+// (BENCH_seed.json at the repo root holds the seed-era numbers, taken
+// with the reference spider solver), and compares a fresh measurement
+// against a stored baseline. Comparisons scale by a calibration
+// workload measured in both runs, so a baseline recorded on one
+// machine still yields meaningful ratios on another.
+
+// BenchPoint is one measured (family, size) cell.
+type BenchPoint struct {
+	Family  string `json:"family"`
+	Size    int    `json:"size"`
+	NsPerOp int64  `json:"ns_per_op"`
+}
+
+// BenchBaseline is a dump of the regression families plus a calibration
+// measurement taken in the same run.
+type BenchBaseline struct {
+	// Note records how the dump was taken (e.g. seed reference solver).
+	Note string `json:"note"`
+	// CalibrationNs is the fixed calibration workload's time in this
+	// run; comparing two baselines scales by the calibration ratio to
+	// absorb machine-speed differences.
+	CalibrationNs int64        `json:"calibration_ns"`
+	Points        []BenchPoint `json:"points"`
+}
+
+// benchReps is the number of repetitions per cell; the minimum is kept,
+// which is the standard robust estimator for wall-clock microbenchmarks.
+const benchReps = 9
+
+// minTime returns the minimum wall time of reps runs of fn.
+func minTime(reps int, fn func() error) (time.Duration, error) {
+	best := time.Duration(1<<63 - 1)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// calibrate measures the fixed calibration workload: the unchanged
+// chain algorithm on a deterministic mid-size instance.
+func calibrate() (int64, error) {
+	g := platform.MustGenerator(17, 1, 9, platform.Uniform)
+	ch := g.Chain(12)
+	d, err := minTime(benchReps, func() error {
+		_, err := core.Schedule(ch, 1024)
+		return err
+	})
+	return d.Nanoseconds(), err
+}
+
+// chainSizes and spiderSizes are the regression grid; spiderSizes match
+// BenchmarkSpiderMinMakespan so the Go benchmark and the JSON baseline
+// describe the same cells.
+var (
+	chainSizes  = []int{512, 2048}
+	spiderSizes = []int{32, 128, 512}
+)
+
+// MeasureBenchBaseline measures the E5/E5c families. With reference
+// true the spider family runs the unmemoized reference solver — used to
+// freeze the seed-era baseline the regression test guards against.
+func MeasureBenchBaseline(reference bool) (*BenchBaseline, error) {
+	calBefore, err := calibrate()
+	if err != nil {
+		return nil, err
+	}
+	b := &BenchBaseline{Note: "fast solver", CalibrationNs: calBefore}
+	if reference {
+		b.Note = "seed reference solver (spider family via spider.ReferenceMinMakespan)"
+	}
+
+	g := platform.MustGenerator(2024, 1, 9, platform.Uniform)
+	ch := g.Chain(16)
+	for _, n := range chainSizes {
+		d, err := minTime(benchReps, func() error {
+			_, err := core.Schedule(ch, n)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		b.Points = append(b.Points, BenchPoint{Family: "E5-chain", Size: n, NsPerOp: d.Nanoseconds()})
+	}
+
+	sp := g.Spider(4, 3)
+	for _, n := range spiderSizes {
+		solve := func() error {
+			_, _, err := spider.MinMakespan(sp, n)
+			return err
+		}
+		if reference {
+			solve = func() error {
+				_, _, err := spider.ReferenceMinMakespan(sp, n)
+				return err
+			}
+		}
+		d, err := minTime(benchReps, solve)
+		if err != nil {
+			return nil, err
+		}
+		b.Points = append(b.Points, BenchPoint{Family: "E5c-spider", Size: n, NsPerOp: d.Nanoseconds()})
+	}
+	// Calibrate again after the families: if the machine picked up load
+	// mid-run, the slower of the two calibrations keeps the comparison
+	// lenient — this is a regression guard, not a precision benchmark.
+	calAfter, err := calibrate()
+	if err != nil {
+		return nil, err
+	}
+	b.CalibrationNs = max(calBefore, calAfter)
+	return b, nil
+}
+
+// WriteJSON dumps the baseline.
+func (b *BenchBaseline) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadBenchBaseline parses a baseline dump.
+func ReadBenchBaseline(r io.Reader) (*BenchBaseline, error) {
+	var b BenchBaseline
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("experiments: parsing bench baseline: %w", err)
+	}
+	if b.CalibrationNs <= 0 {
+		return nil, fmt.Errorf("experiments: bench baseline has no calibration measurement")
+	}
+	return &b, nil
+}
+
+// CompareBenchBaselines flags cells of cur slower than tolerance times
+// the stored baseline (tolerance 1.2 flags >20% regressions). A cell is
+// flagged only when it regresses under BOTH readings of the baseline —
+// raw, and scaled by the runs' calibration ratio: machine-speed noise
+// moves the two readings in opposite directions and rarely trips both,
+// while a genuine algorithmic slowdown trips both. (The flip side:
+// on a machine much faster than the baseline's, a real regression can
+// hide under the raw reading — acceptable for a guard whose job is
+// catching the severalfold blowups of a reverted optimisation.) Cells
+// missing from either side are ignored: the grid may grow over time.
+func CompareBenchBaselines(baseline, cur *BenchBaseline, tolerance float64) []string {
+	base := map[string]int64{}
+	for _, p := range baseline.Points {
+		base[fmt.Sprintf("%s/n=%d", p.Family, p.Size)] = p.NsPerOp
+	}
+	scale := max(float64(cur.CalibrationNs)/float64(baseline.CalibrationNs), 1)
+	var regressions []string
+	for _, p := range cur.Points {
+		key := fmt.Sprintf("%s/n=%d", p.Family, p.Size)
+		b, ok := base[key]
+		if !ok {
+			continue
+		}
+		allowed := float64(b) * scale * tolerance
+		if float64(p.NsPerOp) > allowed {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %dns/op exceeds %.0fns/op (baseline %dns/op × machine scale %.2f × tolerance %.2f)",
+				key, p.NsPerOp, allowed, b, scale, tolerance))
+		}
+	}
+	return regressions
+}

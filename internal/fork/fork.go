@@ -53,18 +53,44 @@ func (a *Allocation) Len() int { return len(a.Slaves) }
 // greedy admission of [2]: candidates are scanned in ascending (Comm,
 // Proc) order and kept whenever the decreasing-processing-time packing
 // remains feasible. The input slice is not modified.
+//
+// Feasibility of each trial insertion is decided in O(1) from
+// incremental state instead of re-checking every prefix: inserting a
+// candidate at position pos leaves earlier sends untouched (feasible by
+// invariant), adds the candidate's own prefix constraint, and delays
+// every later send by exactly the candidate's communication time — so
+// the insertion is feasible iff the candidate completes by the deadline
+// and the minimum slack over the displaced suffix absorbs the delay.
+// This drops the packing from O(m·n) slice copies to O(m·log n)
+// rejections plus O(n) state rebuilds per acceptance, which matters to
+// the spider solver's deadline binary search where Pack dominates.
 func Pack(vs []platform.VirtualSlave, n int, deadline platform.Time) (*Allocation, error) {
+	order := append([]platform.VirtualSlave(nil), vs...)
+	platform.SortVirtualSlaves(order)
+	return PackSorted(order, n, deadline)
+}
+
+// PackSorted is Pack for candidates already in admission order
+// (ascending CompareVirtualSlaves). Callers that can produce the order
+// structurally — the spider solver merges per-leg runs that are sorted
+// by construction — skip the O(m log m) sort that otherwise dominates
+// repeated packings. The input slice is not modified.
+func PackSorted(order []platform.VirtualSlave, n int, deadline platform.Time) (*Allocation, error) {
 	if deadline < 0 {
 		return nil, fmt.Errorf("fork: negative deadline %d", deadline)
 	}
 	if n < 0 {
 		return nil, fmt.Errorf("fork: negative task count %d", n)
 	}
-	order := append([]platform.VirtualSlave(nil), vs...)
-	platform.SortVirtualSlaves(order)
-
-	// selected is kept sorted by decreasing Proc (emission order).
-	var selected []platform.VirtualSlave
+	// selected is kept sorted by decreasing Proc (emission order), with
+	// elapsed[i] the cumulative communication through selected[i] and
+	// minSlack[i] = min_{j≥i} (deadline − elapsed[j] − selected[j].Proc),
+	// the largest uniform delay the suffix starting at i tolerates.
+	var (
+		selected []platform.VirtualSlave
+		elapsed  []platform.Time
+		minSlack []platform.Time
+	)
 	for _, cand := range order {
 		if len(selected) == n {
 			break
@@ -73,12 +99,34 @@ func Pack(vs []platform.VirtualSlave, n int, deadline platform.Time) (*Allocatio
 		pos := sort.Search(len(selected), func(i int) bool {
 			return selected[i].Proc < cand.Proc
 		})
-		trial := make([]platform.VirtualSlave, 0, len(selected)+1)
-		trial = append(trial, selected[:pos]...)
-		trial = append(trial, cand)
-		trial = append(trial, selected[pos:]...)
-		if packFeasible(trial, deadline) {
-			selected = trial
+		var before platform.Time
+		if pos > 0 {
+			before = elapsed[pos-1]
+		}
+		if before+cand.Comm+cand.Proc > deadline {
+			continue
+		}
+		if pos < len(selected) && minSlack[pos] < cand.Comm {
+			continue
+		}
+		selected = append(selected, platform.VirtualSlave{})
+		copy(selected[pos+1:], selected[pos:])
+		selected[pos] = cand
+		elapsed = append(elapsed, 0)
+		for i := pos; i < len(selected); i++ {
+			var prev platform.Time
+			if i > 0 {
+				prev = elapsed[i-1]
+			}
+			elapsed[i] = prev + selected[i].Comm
+		}
+		minSlack = append(minSlack, 0)
+		for i := len(selected) - 1; i >= 0; i-- {
+			sl := deadline - elapsed[i] - selected[i].Proc
+			if i+1 < len(selected) && minSlack[i+1] < sl {
+				sl = minSlack[i+1]
+			}
+			minSlack[i] = sl
 		}
 	}
 
@@ -93,7 +141,8 @@ func Pack(vs []platform.VirtualSlave, n int, deadline platform.Time) (*Allocatio
 
 // packFeasible checks the prefix condition: emitting back-to-back from
 // time 0 in the given (decreasing Proc) order, every task completes by
-// the deadline.
+// the deadline. It is the O(n) specification the incremental check in
+// Pack implements; the ablation test keeps both honest.
 func packFeasible(sel []platform.VirtualSlave, deadline platform.Time) bool {
 	var elapsed platform.Time
 	for _, v := range sel {

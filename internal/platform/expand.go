@@ -1,8 +1,9 @@
 package platform
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // VirtualSlave is a single-task slave produced by the transformations of
@@ -55,24 +56,27 @@ func ExpandFork(f Fork, count int) []VirtualSlave {
 	return out
 }
 
-// SortVirtualSlaves orders virtual slaves by ascending link latency,
-// breaking ties by ascending processing time (the admission order of the
-// fork-graph algorithm of [2] recalled in §6), then by origin for
-// determinism.
+// CompareVirtualSlaves is the admission order of the fork-graph
+// algorithm of [2] recalled in §6: ascending link latency, breaking
+// ties by ascending processing time, then by origin. No two distinct
+// virtual slaves compare equal — (Leg, Rank) is unique per origin — so
+// the order is total and stability is irrelevant.
+func CompareVirtualSlaves(a, b VirtualSlave) int {
+	if c := cmp.Compare(a.Comm, b.Comm); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.Proc, b.Proc); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.Leg, b.Leg); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.Rank, b.Rank)
+}
+
+// SortVirtualSlaves orders virtual slaves by CompareVirtualSlaves.
 func SortVirtualSlaves(vs []VirtualSlave) {
-	sort.SliceStable(vs, func(i, j int) bool {
-		a, b := vs[i], vs[j]
-		if a.Comm != b.Comm {
-			return a.Comm < b.Comm
-		}
-		if a.Proc != b.Proc {
-			return a.Proc < b.Proc
-		}
-		if a.Leg != b.Leg {
-			return a.Leg < b.Leg
-		}
-		return a.Rank < b.Rank
-	})
+	slices.SortFunc(vs, CompareVirtualSlaves)
 }
 
 // String renders the virtual slave.

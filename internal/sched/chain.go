@@ -32,6 +32,32 @@ func (t ChainTask) Clone() ChainTask {
 	return c
 }
 
+// Shifted returns a deep copy of the task with every time translated by
+// delta. It lets memoized plans keep one canonical (relative) copy of a
+// placement and stamp out absolute-time instances on demand.
+func (t ChainTask) Shifted(delta platform.Time) ChainTask {
+	c := t
+	c.Start += delta
+	c.Comms = make([]platform.Time, len(t.Comms))
+	for k, v := range t.Comms {
+		c.Comms[k] = v + delta
+	}
+	return c
+}
+
+// Equal reports whether two tasks are identical placements.
+func (t ChainTask) Equal(o ChainTask) bool {
+	if t.Proc != o.Proc || t.Start != o.Start || len(t.Comms) != len(o.Comms) {
+		return false
+	}
+	for k := range t.Comms {
+		if t.Comms[k] != o.Comms[k] {
+			return false
+		}
+	}
+	return true
+}
+
 // ChainSchedule is a complete schedule of tasks on a chain. Task i of the
 // paper is Tasks[i-1].
 type ChainSchedule struct {
@@ -95,6 +121,25 @@ func (s *ChainSchedule) Clone() *ChainSchedule {
 		out.Tasks[i] = t.Clone()
 	}
 	return out
+}
+
+// Equal reports whether two schedules place the same tasks on the same
+// chain (order-sensitive).
+func (s *ChainSchedule) Equal(o *ChainSchedule) bool {
+	if len(s.Tasks) != len(o.Tasks) || len(s.Chain.Nodes) != len(o.Chain.Nodes) {
+		return false
+	}
+	for i, n := range s.Chain.Nodes {
+		if n != o.Chain.Nodes[i] {
+			return false
+		}
+	}
+	for i := range s.Tasks {
+		if !s.Tasks[i].Equal(o.Tasks[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // Subset returns a new schedule keeping only the tasks whose (0-based)

@@ -66,6 +66,20 @@ func (s *SpiderSchedule) Clone() *SpiderSchedule {
 	return out
 }
 
+// Equal reports whether two schedules route the same placements down
+// the same legs (order-sensitive; the spider itself is not compared).
+func (s *SpiderSchedule) Equal(o *SpiderSchedule) bool {
+	if len(s.Tasks) != len(o.Tasks) {
+		return false
+	}
+	for i := range s.Tasks {
+		if s.Tasks[i].Leg != o.Tasks[i].Leg || !s.Tasks[i].ChainTask.Equal(o.Tasks[i].ChainTask) {
+			return false
+		}
+	}
+	return true
+}
+
 // Verify checks the per-leg feasibility conditions of Definition 1 and
 // the spider-specific condition that the master sends one task at a
 // time: the send of a task routed down leg b occupies the master's port

@@ -1,0 +1,143 @@
+package spider
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fork"
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// This file keeps the original, direct implementation of the §7
+// algorithm as a slow reference path (exposed as -slow by cmd/msched).
+// It recomputes every leg plan from scratch at every deadline probe —
+// O(n·p²) per leg per probe — which the memoized solver in spider.go
+// amortises away. The equivalence tests replay both paths on randomized
+// instances and require identical schedules, so the reference anchors
+// the fast path's correctness to the exhaustively validated original.
+
+// referenceLegPlans runs the time-limited chain algorithm on every leg
+// and returns the per-leg schedules plus the virtual slaves of step 2.
+func referenceLegPlans(sp platform.Spider, n int, deadline platform.Time) ([]*sched.ChainSchedule, []platform.VirtualSlave, error) {
+	plans := make([]*sched.ChainSchedule, sp.NumLegs())
+	var virt []platform.VirtualSlave
+	for b, leg := range sp.Legs {
+		plan, err := core.ScheduleWithin(leg, n, deadline)
+		if err != nil {
+			return nil, nil, fmt.Errorf("spider: leg %d: %w", b, err)
+		}
+		plans[b] = plan
+		c1 := leg.Comm(1)
+		for i, t := range plan.Tasks {
+			virt = append(virt, platform.VirtualSlave{
+				Comm: c1,
+				Proc: deadline - t.Comms[0] - c1,
+				Leg:  b,
+				Rank: i,
+			})
+		}
+	}
+	return plans, virt, nil
+}
+
+// ReferenceScheduleWithin is the original ScheduleWithin: it schedules
+// as many tasks as possible — at most n — on the spider completing
+// within [0, deadline] (Theorem 3), rebuilding every leg plan from
+// scratch.
+func ReferenceScheduleWithin(sp platform.Spider, n int, deadline platform.Time) (*sched.SpiderSchedule, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("spider: negative task count %d", n)
+	}
+	if deadline < 0 {
+		return nil, fmt.Errorf("spider: negative deadline %d", deadline)
+	}
+	plans, virt, err := referenceLegPlans(sp, n, deadline)
+	if err != nil {
+		return nil, err
+	}
+	alloc, err := fork.Pack(virt, n, deadline)
+	if err != nil {
+		return nil, err
+	}
+	// Revert (Lemma 3): the chosen virtual slave (leg b, rank i) is leg
+	// b's i-th scheduled task with its first send moved to the packed
+	// slot. The packing guarantees EmitStart ≤ the original C_1^i, so
+	// moving the send earlier keeps condition (1); port slots are
+	// pairwise disjoint by construction.
+	s := &sched.SpiderSchedule{Spider: sp}
+	for _, c := range alloc.Slaves {
+		t := plans[c.Leg].Tasks[c.Rank].Clone()
+		if c.EmitStart > t.Comms[0] {
+			return nil, fmt.Errorf("spider: internal error: packed send %d after promised latest %d", c.EmitStart, t.Comms[0])
+		}
+		t.Comms[0] = c.EmitStart
+		s.Tasks = append(s.Tasks, sched.SpiderTask{Leg: c.Leg, ChainTask: t})
+	}
+	return s, nil
+}
+
+// ReferenceMaxTasks returns how many of at most n tasks complete within
+// the deadline, via the reference path.
+func ReferenceMaxTasks(sp platform.Spider, n int, deadline platform.Time) (int, error) {
+	s, err := ReferenceScheduleWithin(sp, n, deadline)
+	if err != nil {
+		return 0, err
+	}
+	return s.Len(), nil
+}
+
+// ReferenceSchedule mirrors Schedule via the reference path, including
+// its n=0 contract (an empty schedule on a valid spider).
+func ReferenceSchedule(sp platform.Spider, n int) (*sched.SpiderSchedule, error) {
+	if n == 0 {
+		if err := sp.Validate(); err != nil {
+			return nil, err
+		}
+		return &sched.SpiderSchedule{Spider: sp}, nil
+	}
+	_, s, err := ReferenceMinMakespan(sp, n)
+	return s, err
+}
+
+// ReferenceMinMakespan is the original MinMakespan: binary search on
+// the deadline with a full reference evaluation per probe.
+func ReferenceMinMakespan(sp platform.Spider, n int) (platform.Time, *sched.SpiderSchedule, error) {
+	if err := sp.Validate(); err != nil {
+		return 0, nil, err
+	}
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("spider: task count %d is not positive", n)
+	}
+	fits := func(deadline platform.Time) (bool, error) {
+		m, err := ReferenceMaxTasks(sp, n, deadline)
+		if err != nil {
+			return false, err
+		}
+		return m == n, nil
+	}
+	lo, hi := platform.Time(1), sp.MasterOnlyMakespan(n)
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		ok, err := fits(mid)
+		if err != nil {
+			return 0, nil, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	s, err := ReferenceScheduleWithin(sp, n, lo)
+	if err != nil {
+		return 0, nil, err
+	}
+	if s.Len() != n {
+		return 0, nil, fmt.Errorf("spider: internal error: %d tasks at deadline %d, want %d", s.Len(), lo, n)
+	}
+	return lo, s, nil
+}

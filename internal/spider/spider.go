@@ -18,12 +18,36 @@
 //
 // Theorem 3: the result completes the maximum possible number of tasks
 // within the deadline; binary search over the deadline then yields the
-// minimum makespan for n tasks. The overall complexity is O(n²p²)
-// (Theorem 2).
+// minimum makespan for n tasks.
+//
+// # The memoized solver
+//
+// A naive implementation (kept in reference.go) rebuilds every leg plan
+// at every deadline probe, for O(n·p²) per leg per probe — O(n²·p²)
+// overall (Theorem 2). The Solver in this file exploits two structural
+// facts of the backward construction (see core.Engine):
+//
+//   - translation invariance: the leg plan toward deadline T is the
+//     horizon-0 plan shifted by T, so one cached backward sequence per
+//     leg answers every deadline;
+//   - prefix stability with strictly decreasing emissions: the tasks
+//     fitting within T are exactly the backward prefix whose shifted
+//     emissions stay non-negative, found by galloping/binary search.
+//
+// Each deadline probe then costs a binary search over cached emissions
+// plus one fork packing, instead of rebuilding the chain schedules; the
+// per-leg construction itself is paid once, amortised over all probes,
+// and independent legs are grown in parallel worker goroutines with a
+// deterministic merge (each leg owns its slot; results are read in leg
+// order). The solver produces schedules identical to the reference
+// path — not merely equal makespans — because the virtual-slave
+// multiset it feeds the deterministic packing is the same.
 package spider
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/fork"
@@ -31,47 +55,231 @@ import (
 	"repro/internal/sched"
 )
 
-// legPlans runs the time-limited chain algorithm on every leg and
-// returns the per-leg schedules plus the virtual slaves of step 2.
-func legPlans(sp platform.Spider, n int, deadline platform.Time) ([]*sched.ChainSchedule, []platform.VirtualSlave, error) {
-	plans := make([]*sched.ChainSchedule, sp.NumLegs())
-	var virt []platform.VirtualSlave
-	for b, leg := range sp.Legs {
-		plan, err := core.ScheduleWithin(leg, n, deadline)
-		if err != nil {
-			return nil, nil, fmt.Errorf("spider: leg %d: %w", b, err)
-		}
-		plans[b] = plan
-		c1 := leg.Comm(1)
-		for i, t := range plan.Tasks {
-			virt = append(virt, platform.VirtualSlave{
-				Comm: c1,
-				Proc: deadline - t.Comms[0] - c1,
-				Leg:  b,
-				Rank: i,
-			})
-		}
-	}
-	return plans, virt, nil
+// legPlan memoizes one leg's backward construction. Virtual-slave
+// processing times are deadline-independent: the §7 promise for the
+// task at backward index j is Proc = Tlim − C_1 − c_1 where C_1 =
+// emission(j) + Tlim, so Proc = −emission(j) − c_1 for any deadline.
+type legPlan struct {
+	inc *core.Incremental
+	c1  platform.Time
 }
 
-// ScheduleWithin schedules as many tasks as possible — at most n —
-// on the spider completing within [0, deadline] (Theorem 3).
-func ScheduleWithin(sp platform.Spider, n int, deadline platform.Time) (*sched.SpiderSchedule, error) {
+// fit returns how many of at most n tasks this leg completes within the
+// deadline, growing the memoized plan as needed.
+func (lp *legPlan) fit(n int, deadline platform.Time) int {
+	return lp.inc.FitWithin(n, deadline)
+}
+
+// task returns the emission-order task at rank i of this leg's k-task
+// plan for the deadline: backward placement k−1−i shifted into absolute
+// times.
+func (lp *legPlan) task(k, i int, deadline platform.Time) sched.ChainTask {
+	return lp.inc.Backward(k - 1 - i).Shifted(deadline)
+}
+
+// Solver answers repeated scheduling queries on one spider, reusing the
+// memoized per-leg plans across calls: probing many deadlines (as
+// MinMakespan's binary search does) or many task counts (as the tree
+// covering heuristic may) pays the backward construction only once.
+// A Solver is not safe for concurrent use; independent Solvers are.
+type Solver struct {
+	sp   platform.Spider
+	legs []*legPlan
+	vbuf []platform.VirtualSlave // reused probe scratch, admission order
+	kbuf []int                   // reused per-leg fit counts
+	cbuf []legCursor             // reused merge heap
+
+	// prepared high-water marks: fit(n, deadline) needs no growth when
+	// both are dominated, so warm probes skip the worker pool entirely.
+	prepN        int
+	prepDeadline platform.Time
+}
+
+// NewSolver validates the spider and prepares empty per-leg plans.
+func NewSolver(sp platform.Spider) (*Solver, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, err
 	}
+	s := &Solver{sp: sp, legs: make([]*legPlan, sp.NumLegs())}
+	for b, leg := range sp.Legs {
+		inc, err := core.NewIncremental(leg)
+		if err != nil {
+			return nil, fmt.Errorf("spider: leg %d: %w", b, err)
+		}
+		s.legs[b] = &legPlan{inc: inc, c1: leg.Comm(1)}
+	}
+	return s, nil
+}
+
+// Spider returns the platform the solver schedules on.
+func (s *Solver) Spider() platform.Spider { return s.sp }
+
+// prepare grows every leg plan far enough to answer fit(n, deadline),
+// evaluating independent legs in parallel worker goroutines. Each
+// goroutine mutates only its own legPlan, so the merge is deterministic
+// by construction: subsequent reads walk the legs in index order.
+func (s *Solver) prepare(n int, deadline platform.Time) {
+	if n <= s.prepN && deadline <= s.prepDeadline {
+		return
+	}
+	// Grow to the recorded envelope, not just this call's pair: the
+	// marks promise that any dominated query needs no growth, so the
+	// growth itself must cover their component-wise max.
+	s.prepN = max(s.prepN, n)
+	s.prepDeadline = max(s.prepDeadline, deadline)
+	n, deadline = s.prepN, s.prepDeadline
+	if len(s.legs) < 2 || n < 2 {
+		for _, lp := range s.legs {
+			lp.fit(n, deadline)
+		}
+		return
+	}
+	workers := min(len(s.legs), runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	next := make(chan *legPlan, len(s.legs))
+	for _, lp := range s.legs {
+		next <- lp
+	}
+	close(next)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for lp := range next {
+				lp.fit(n, deadline)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// legCursor walks one leg's candidate run during the admission-order
+// merge. Within a leg, ascending backward index j means strictly
+// ascending Proc (emissions strictly decrease) at constant Comm, so
+// each run is already sorted under the admission order; Rank is the
+// emission index k−1−j the reference path would assign.
+type legCursor struct {
+	lp  *legPlan
+	leg int
+	k   int
+	j   int
+	cur platform.VirtualSlave
+}
+
+func (c *legCursor) load() {
+	c.cur = platform.VirtualSlave{
+		Comm: c.lp.c1,
+		Proc: -c.lp.inc.Emission(c.j) - c.lp.c1,
+		Leg:  c.leg,
+		Rank: c.k - 1 - c.j,
+	}
+}
+
+// counts returns the per-leg fit counts for the deadline and rebuilds
+// the probe's virtual-slave scratch in admission order by a k-way merge
+// of the per-leg runs — the multiset is exactly what the reference path
+// feeds the packing, already sorted, so PackSorted can skip its
+// O(m log m) sort.
+func (s *Solver) counts(n int, deadline platform.Time) []int {
+	if s.kbuf == nil {
+		s.kbuf = make([]int, len(s.legs))
+	}
+	ks := s.kbuf
+	s.vbuf = s.vbuf[:0]
+	s.cbuf = s.cbuf[:0]
+	for b, lp := range s.legs {
+		k := lp.fit(n, deadline)
+		ks[b] = k
+		if k > 0 {
+			c := legCursor{lp: lp, leg: b, k: k}
+			c.load()
+			s.cbuf = append(s.cbuf, c)
+		}
+	}
+	// Binary min-heap of cursors keyed by the admission order.
+	h := s.cbuf
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(h, i)
+	}
+	for len(h) > 0 {
+		s.vbuf = append(s.vbuf, h[0].cur)
+		if h[0].j++; h[0].j < h[0].k {
+			h[0].load()
+		} else {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		siftDown(h, 0)
+	}
+	return ks
+}
+
+func siftDown(h []legCursor, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < len(h) && platform.CompareVirtualSlaves(h[l].cur, h[least].cur) < 0 {
+			least = l
+		}
+		if r < len(h) && platform.CompareVirtualSlaves(h[r].cur, h[least].cur) < 0 {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}
+
+// MaxTasks returns how many of at most n tasks complete within the
+// deadline.
+func (s *Solver) MaxTasks(n int, deadline platform.Time) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("spider: negative task count %d", n)
+	}
+	if deadline < 0 {
+		return 0, fmt.Errorf("spider: negative deadline %d", deadline)
+	}
+	s.prepare(n, deadline)
+	s.counts(n, deadline)
+	alloc, err := fork.PackSorted(s.vbuf, n, deadline)
+	if err != nil {
+		return 0, err
+	}
+	return alloc.Len(), nil
+}
+
+// fits reports whether all n tasks complete within the deadline; the
+// binary-search probe of MinMakespan. When the per-leg fit counts sum
+// below n the packing cannot reach n either (it admits a subset), so
+// the merge and packing are skipped outright.
+func (s *Solver) fits(n int, deadline platform.Time) (bool, error) {
+	var total int
+	for _, lp := range s.legs {
+		if total += lp.fit(n, deadline); total >= n {
+			break
+		}
+	}
+	if total < n {
+		return false, nil
+	}
+	m, err := s.MaxTasks(n, deadline)
+	return m == n, err
+}
+
+// ScheduleWithin schedules as many tasks as possible — at most n — on
+// the spider completing within [0, deadline] (Theorem 3).
+func (s *Solver) ScheduleWithin(n int, deadline platform.Time) (*sched.SpiderSchedule, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("spider: negative task count %d", n)
 	}
 	if deadline < 0 {
 		return nil, fmt.Errorf("spider: negative deadline %d", deadline)
 	}
-	plans, virt, err := legPlans(sp, n, deadline)
-	if err != nil {
-		return nil, err
-	}
-	alloc, err := fork.Pack(virt, n, deadline)
+	s.prepare(n, deadline)
+	ks := s.counts(n, deadline)
+	alloc, err := fork.PackSorted(s.vbuf, n, deadline)
 	if err != nil {
 		return nil, err
 	}
@@ -80,50 +288,33 @@ func ScheduleWithin(sp platform.Spider, n int, deadline platform.Time) (*sched.S
 	// slot. The packing guarantees EmitStart ≤ the original C_1^i, so
 	// moving the send earlier keeps condition (1); port slots are
 	// pairwise disjoint by construction.
-	s := &sched.SpiderSchedule{Spider: sp}
+	out := &sched.SpiderSchedule{Spider: s.sp}
 	for _, c := range alloc.Slaves {
-		t := plans[c.Leg].Tasks[c.Rank].Clone()
+		t := s.legs[c.Leg].task(ks[c.Leg], c.Rank, deadline)
 		if c.EmitStart > t.Comms[0] {
 			return nil, fmt.Errorf("spider: internal error: packed send %d after promised latest %d", c.EmitStart, t.Comms[0])
 		}
 		t.Comms[0] = c.EmitStart
-		s.Tasks = append(s.Tasks, sched.SpiderTask{Leg: c.Leg, ChainTask: t})
+		out.Tasks = append(out.Tasks, sched.SpiderTask{Leg: c.Leg, ChainTask: t})
 	}
-	return s, nil
-}
-
-// MaxTasks returns how many of at most n tasks complete within the
-// deadline.
-func MaxTasks(sp platform.Spider, n int, deadline platform.Time) (int, error) {
-	s, err := ScheduleWithin(sp, n, deadline)
-	if err != nil {
-		return 0, err
-	}
-	return s.Len(), nil
+	return out, nil
 }
 
 // MinMakespan returns the optimal makespan for exactly n tasks on the
 // spider and a schedule achieving it, by binary search on the deadline
 // (the maximum task count within a deadline is non-decreasing in the
-// deadline, so feasibility of n tasks is monotone).
-func MinMakespan(sp platform.Spider, n int) (platform.Time, *sched.SpiderSchedule, error) {
-	if err := sp.Validate(); err != nil {
-		return 0, nil, err
-	}
+// deadline, so feasibility of n tasks is monotone). The leg plans are
+// grown once, in parallel, for the upper bound; every probe then costs
+// only per-leg binary searches plus one packing.
+func (s *Solver) MinMakespan(n int) (platform.Time, *sched.SpiderSchedule, error) {
 	if n <= 0 {
 		return 0, nil, fmt.Errorf("spider: task count %d is not positive", n)
 	}
-	fits := func(deadline platform.Time) (bool, error) {
-		m, err := MaxTasks(sp, n, deadline)
-		if err != nil {
-			return false, err
-		}
-		return m == n, nil
-	}
-	lo, hi := platform.Time(1), sp.MasterOnlyMakespan(n)
+	lo, hi := platform.Time(1), s.sp.MasterOnlyMakespan(n)
+	s.prepare(n, hi)
 	for lo < hi {
 		mid := lo + (hi-lo)/2
-		ok, err := fits(mid)
+		ok, err := s.fits(n, mid)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -133,14 +324,44 @@ func MinMakespan(sp platform.Spider, n int) (platform.Time, *sched.SpiderSchedul
 			lo = mid + 1
 		}
 	}
-	s, err := ScheduleWithin(sp, n, lo)
+	out, err := s.ScheduleWithin(n, lo)
 	if err != nil {
 		return 0, nil, err
 	}
-	if s.Len() != n {
-		return 0, nil, fmt.Errorf("spider: internal error: %d tasks at deadline %d, want %d", s.Len(), lo, n)
+	if out.Len() != n {
+		return 0, nil, fmt.Errorf("spider: internal error: %d tasks at deadline %d, want %d", out.Len(), lo, n)
 	}
-	return lo, s, nil
+	return lo, out, nil
+}
+
+// ScheduleWithin schedules as many tasks as possible — at most n —
+// on the spider completing within [0, deadline] (Theorem 3).
+func ScheduleWithin(sp platform.Spider, n int, deadline platform.Time) (*sched.SpiderSchedule, error) {
+	s, err := NewSolver(sp)
+	if err != nil {
+		return nil, err
+	}
+	return s.ScheduleWithin(n, deadline)
+}
+
+// MaxTasks returns how many of at most n tasks complete within the
+// deadline.
+func MaxTasks(sp platform.Spider, n int, deadline platform.Time) (int, error) {
+	s, err := NewSolver(sp)
+	if err != nil {
+		return 0, err
+	}
+	return s.MaxTasks(n, deadline)
+}
+
+// MinMakespan returns the optimal makespan for exactly n tasks on the
+// spider and a schedule achieving it.
+func MinMakespan(sp platform.Spider, n int) (platform.Time, *sched.SpiderSchedule, error) {
+	s, err := NewSolver(sp)
+	if err != nil {
+		return 0, nil, err
+	}
+	return s.MinMakespan(n)
 }
 
 // Schedule is MinMakespan returning only the schedule; it is the
