@@ -35,7 +35,15 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
+	// A malformed input must exit with a clear message, never a panic:
+	// turn any escaped panic into an error so main reports it and exits
+	// non-zero.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("internal error: %v", r)
+		}
+	}()
 	fs := flag.NewFlagSet("msched", flag.ContinueOnError)
 	var (
 		chainSpec  = fs.String("chain", "", "inline chain spec: c1,w1,c2,w2,...")
@@ -109,6 +117,12 @@ func resolvePlatform(chainSpec, spiderSpec, platPath string) (*platform.Chain, *
 }
 
 func scheduleChain(out io.Writer, ch platform.Chain, n int, deadline int64, showGantt bool, scale platform.Time, svgPath, jsonPath string) error {
+	// Oversized (c, w) values or task counts would otherwise surface
+	// as baffling internal errors — or wrapped, silently wrong
+	// schedules — deep in the solver.
+	if err := ch.CheckHorizon(n); err != nil {
+		return err
+	}
 	var (
 		s   *sched.ChainSchedule
 		err error
@@ -154,6 +168,9 @@ func scheduleChain(out io.Writer, ch platform.Chain, n int, deadline int64, show
 }
 
 func scheduleSpider(out io.Writer, sp platform.Spider, n int, deadline int64, slow, showGantt bool, scale platform.Time, svgPath, jsonPath string) error {
+	if err := sp.CheckHorizon(n); err != nil {
+		return err
+	}
 	var (
 		s   *sched.SpiderSchedule
 		err error

@@ -107,6 +107,53 @@ func TestRunArgumentErrors(t *testing.T) {
 	}
 }
 
+// TestRunMalformedPlatformFiles: every malformed platform file must
+// produce a clear error — naming what went wrong — and never a panic.
+func TestRunMalformedPlatformFiles(t *testing.T) {
+	cases := []struct {
+		name    string
+		content string
+		wantMsg string
+	}{
+		{"not json", `this is not json`, "decoding platform file"},
+		{"array envelope", `[1,2,3]`, "decoding platform file"},
+		{"unknown kind", `{"kind":"noodle"}`, "unknown platform kind"},
+		{"missing body", `{"kind":"chain"}`, "decoding chain body"},
+		{"null body", `{"kind":"chain","chain":null}`, "chain has no processors"},
+		{"wrong body shape", `{"kind":"chain","chain":[]}`, "decoding chain body"},
+		{"empty chain", `{"kind":"chain","chain":{"nodes":[]}}`, "chain has no processors"},
+		{"zero latency", `{"kind":"spider","spider":{"legs":[{"nodes":[{"c":0,"w":1}]}]}}`, "link latency 0 is not positive"},
+		{"negative work", `{"kind":"fork","fork":{"slaves":[{"c":1,"w":-3}]}}`, "processing time -3 is not positive"},
+		{"empty fork", `{"kind":"fork","fork":{"slaves":[]}}`, "fork has no slaves"},
+		{"empty spider", `{"kind":"spider","spider":{"legs":[]}}`, "spider has no legs"},
+		{"truncated file", `{"kind":"spider","spider":{"legs":[{"nodes":[{"c":`, "decoding platform file"},
+		{"overflowing values", `{"kind":"chain","chain":{"nodes":[{"c":4611686018427387904,"w":4611686018427387904}]}}`, "overflows the integral time range"},
+		{"values wrapping positive", `{"kind":"chain","chain":{"nodes":[{"c":9223372036854775807,"w":1}]}}`, "overflows the integral time range"},
+		{"oversized leg beside sane leg", `{"kind":"spider","spider":{"legs":[{"nodes":[{"c":1,"w":1}]},{"nodes":[{"c":4611686018427387904,"w":4611686018427387904}]}]}}`, "overflows the integral time range"},
+		{"oversized deep node behind sane head", `{"kind":"chain","chain":{"nodes":[{"c":1,"w":1},{"c":4611686018427387904,"w":1},{"c":4611686018427387904,"w":1},{"c":4611686018427387904,"w":1}]}}`, "overflows the integral time range"},
+	}
+	dir := t.TempDir()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, strings.ReplaceAll(tc.name, " ", "_")+".json")
+			if err := os.WriteFile(path, []byte(tc.content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var out bytes.Buffer
+			err := run([]string{"-platform", path, "-n", "3"}, &out)
+			if err == nil {
+				t.Fatalf("malformed platform accepted; output:\n%s", out.String())
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Errorf("error %q does not mention %q", err, tc.wantMsg)
+			}
+			if strings.Contains(err.Error(), "internal error") {
+				t.Errorf("malformed input surfaced as an internal error: %q", err)
+			}
+		})
+	}
+}
+
 func TestRunSlowReferencePathMatchesFast(t *testing.T) {
 	// -slow routes through the unmemoized reference solver; the printed
 	// schedule and makespan must be identical to the fast path.

@@ -1,0 +1,107 @@
+// Command msserve runs the long-lived scheduling service: it answers
+// (platform, n) min-makespan / max-tasks / deadline-schedule queries
+// over HTTP+JSON, keeping an LRU cache of warmed solvers keyed by the
+// canonical platform fingerprint and coalescing identical in-flight
+// queries into a single solve.
+//
+// Usage:
+//
+//	msserve [-addr :8080] [-cache 64] [-workers 0] [-max-n 1048576]
+//
+// Endpoints:
+//
+//	POST /solve   — a tagged platform envelope (see msgen) plus
+//	                op/n/deadline; answers carry cache and coalesce
+//	                metadata
+//	GET  /stats   — hits, misses, coalesced, constructions, evictions
+//	GET  /healthz — liveness
+//
+// The server drains gracefully on SIGINT/SIGTERM. Example session:
+//
+//	msgen -kind spider -legs 4 -depth 3 > sp.json
+//	msserve -addr :8080 &
+//	curl -s localhost:8080/solve -d '{"platform":'"$(cat sp.json)"',"op":"min_makespan","n":64}'
+//	curl -s localhost:8080/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "msserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the server and blocks until ctx is cancelled, then drains
+// in-flight requests. When ready is non-nil it receives the bound
+// address once the listener is up (the test seam for -addr :0).
+func run(ctx context.Context, args []string, out io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("msserve", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", ":8080", "listen address")
+		cache   = fs.Int("cache", 64, "warmed solvers kept (LRU beyond this)")
+		workers = fs.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
+		maxN    = fs.Int("max-n", 1<<20, "per-query task count limit")
+		drain   = fs.Duration("drain", 5*time.Second, "graceful shutdown timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	svc := service.New(service.Config{CacheSize: *cache, Workers: *workers, MaxN: *maxN})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "msserve: listening on %s (cache %d, workers %d)\n", ln.Addr(), *cache, *workers)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	srv := &http.Server{Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "msserve: draining")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("draining: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	st := svc.Stats()
+	fmt.Fprintf(out, "msserve: stopped (%d hits, %d misses, %d coalesced, %d evictions)\n",
+		st.Hits, st.Misses, st.Coalesced, st.Evictions)
+	return nil
+}

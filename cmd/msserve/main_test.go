@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/service"
+	"repro/internal/service/client"
+	"repro/internal/spider"
+)
+
+// startServer boots msserve on a random port and returns a client for
+// it plus the shutdown handle.
+func startServer(t *testing.T, args []string) (*client.Client, context.CancelFunc, *bytes.Buffer, chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var out bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), &out, ready) }()
+	select {
+	case addr := <-ready:
+		return client.New("http://"+addr, nil), cancel, &out, done
+	case err := <-done:
+		cancel()
+		t.Fatalf("server exited before ready: %v", err)
+		return nil, nil, nil, nil
+	}
+}
+
+// TestServeQueryShutdown is the end-to-end daemon test: boot, query
+// cold and warm, read stats, drain gracefully.
+func TestServeQueryShutdown(t *testing.T) {
+	cl, cancel, out, done := startServer(t, []string{"-cache", "8"})
+	defer cancel()
+	ctx := context.Background()
+
+	sp := platform.NewSpider(platform.NewChain(2, 5, 3, 3), platform.NewChain(1, 4))
+	n := 10
+	cold, err := cl.MinMakespanSpider(ctx, sp, n, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := cl.MinMakespanSpider(ctx, sp, n, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Meta.Cache != "miss" || warm.Meta.Cache != "hit" {
+		t.Errorf("cache metadata over the daemon: %q then %q, want miss then hit", cold.Meta.Cache, warm.Meta.Cache)
+	}
+	wantMk, wantSched, err := spider.MinMakespan(sp, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Makespan != wantMk {
+		t.Errorf("makespan %d, want %d", warm.Makespan, wantMk)
+	}
+	dec, err := warm.DecodeSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Spider.Equal(wantSched) {
+		t.Error("daemon schedule differs from the direct solve")
+	}
+
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit and 1 miss", st)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain")
+	}
+	for _, frag := range []string{"listening on", "draining", "stopped (1 hits, 1 misses"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("output missing %q:\n%s", frag, out.String())
+		}
+	}
+}
+
+// TestServeConcurrentClients exercises the daemon under concurrent
+// load from several client goroutines.
+func TestServeConcurrentClients(t *testing.T) {
+	cl, cancel, _, done := startServer(t, nil)
+	defer cancel()
+	ctx := context.Background()
+
+	sp := platform.NewSpider(platform.NewChain(2, 5), platform.NewChain(1, 4), platform.NewChain(3, 3))
+	wantMk, _, err := spider.MinMakespan(sp, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				resp, err := cl.MinMakespanSpider(ctx, sp, 24, false)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.Makespan != wantMk {
+					t.Errorf("makespan %d, want %d", resp.Makespan, wantMk)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Constructions != 1 {
+		t.Errorf("constructions = %d, want 1 (one platform, 30 queries)", st.Constructions)
+	}
+	if st.Hits+st.Coalesced+st.Misses != 30 {
+		t.Errorf("hits %d + coalesced %d + misses %d != 30 queries", st.Hits, st.Coalesced, st.Misses)
+	}
+	cancel()
+	<-done
+}
+
+// TestServeFlagErrors: bad invocations fail instead of serving.
+func TestServeFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-addr", "256.0.0.1:bad"}, // unlistenable address
+		{"stray"},                  // positional argument
+	} {
+		var out bytes.Buffer
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		err := run(ctx, args, &out, nil)
+		cancel()
+		if err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}
+
+// TestServeUsesServiceDefaults pins the wiring: -max-n reaches the
+// service config.
+func TestServeUsesServiceDefaults(t *testing.T) {
+	cl, cancel, _, done := startServer(t, []string{"-max-n", "10"})
+	defer cancel()
+	ctx := context.Background()
+	sp := platform.NewSpider(platform.NewChain(1, 2))
+	req, err := service.NewSpiderRequest(sp, service.OpMinMakespan, 11, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Do(ctx, req); err == nil || !strings.Contains(err.Error(), "per-query limit") {
+		t.Errorf("over-limit query error = %v, want the per-query limit message", err)
+	}
+	if _, err := cl.Do(ctx, &service.Request{Platform: req.Platform, Op: service.OpMinMakespan, N: 10}); err != nil {
+		t.Errorf("at-limit query failed: %v", err)
+	}
+	cancel()
+	<-done
+}

@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/platform"
-	"repro/internal/spider"
 )
 
 func fig2Chain() platform.Chain { return platform.NewChain(2, 5, 3, 3) }
@@ -96,34 +95,6 @@ func TestOptimalNeverWorseThanHeuristics(t *testing.T) {
 			if optimal.Makespan() > s.Makespan() {
 				t.Errorf("%v n=%d: optimal %d beaten by %s %d",
 					ch, n, optimal.Makespan(), sc.Name(), s.Makespan())
-			}
-		}
-	}
-}
-
-func TestSpiderHeuristicsFeasibleAndDominatedByOptimal(t *testing.T) {
-	g := platform.MustGenerator(71, 1, 9, platform.Uniform)
-	scheds := []SpiderScheduler{SpiderGreedy{}, SpiderRoundRobin{}}
-	for trial := 0; trial < 6; trial++ {
-		sp := g.Spider(2+trial%3, 2)
-		n := 6 + 4*trial
-		mk, _, err := spider.MinMakespan(sp, n)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, sc := range scheds {
-			s, err := sc.Schedule(sp, n)
-			if err != nil {
-				t.Fatalf("%s: %v", sc.Name(), err)
-			}
-			if s.Len() != n {
-				t.Fatalf("%s scheduled %d, want %d", sc.Name(), s.Len(), n)
-			}
-			if err := s.Verify(); err != nil {
-				t.Fatalf("%s on %v: infeasible: %v", sc.Name(), sp, err)
-			}
-			if mk > s.Makespan() {
-				t.Errorf("%v n=%d: optimal %d beaten by %s %d", sp, n, mk, sc.Name(), s.Makespan())
 			}
 		}
 	}

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/platform"
-	"repro/internal/spider"
 )
 
 func ratEq(t *testing.T, got *big.Rat, num, den int64, what string) {
@@ -116,25 +115,6 @@ func TestLowerBoundChainAsymptoticallyTight(t *testing.T) {
 		// generous and n-independent.
 		if gap > 20 {
 			t.Errorf("n=%d: gap %d not O(1)", n, gap)
-		}
-	}
-}
-
-func TestLowerBoundSpiderIsValid(t *testing.T) {
-	g := platform.MustGenerator(17, 1, 6, platform.Uniform)
-	for trial := 0; trial < 8; trial++ {
-		sp := g.Spider(2+trial%2, 2)
-		n := 2 + 3*trial
-		lb, err := LowerBoundSpider(sp, n)
-		if err != nil {
-			t.Fatal(err)
-		}
-		mk, _, err := spider.MinMakespan(sp, n)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if lb > mk {
-			t.Errorf("%v n=%d: lower bound %d exceeds optimum %d", sp, n, lb, mk)
 		}
 	}
 }

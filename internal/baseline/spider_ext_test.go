@@ -1,0 +1,63 @@
+// These tests compare baseline bounds and heuristics against the
+// optimal spider solver. They live in the external test package:
+// spider imports baseline (the MinMakespan binary search is seeded
+// with LowerBoundSpider), so an in-package import would cycle.
+package baseline_test
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/platform"
+	"repro/internal/spider"
+)
+
+func TestSpiderHeuristicsFeasibleAndDominatedByOptimal(t *testing.T) {
+	g := platform.MustGenerator(71, 1, 9, platform.Uniform)
+	scheds := []baseline.SpiderScheduler{baseline.SpiderGreedy{}, baseline.SpiderRoundRobin{}}
+	for trial := 0; trial < 6; trial++ {
+		sp := g.Spider(2+trial%3, 2)
+		n := 6 + 4*trial
+		mk, _, err := spider.MinMakespan(sp, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sc := range scheds {
+			s, err := sc.Schedule(sp, n)
+			if err != nil {
+				t.Fatalf("%s: %v", sc.Name(), err)
+			}
+			if s.Len() != n {
+				t.Fatalf("%s scheduled %d, want %d", sc.Name(), s.Len(), n)
+			}
+			if err := s.Verify(); err != nil {
+				t.Fatalf("%s on %v: infeasible: %v", sc.Name(), sp, err)
+			}
+			if mk > s.Makespan() {
+				t.Errorf("%v n=%d: optimal %d beaten by %s %d", sp, n, mk, sc.Name(), s.Makespan())
+			}
+		}
+	}
+}
+
+func TestLowerBoundSpiderIsValid(t *testing.T) {
+	g := platform.MustGenerator(17, 1, 6, platform.Uniform)
+	for trial := 0; trial < 8; trial++ {
+		sp := g.Spider(2+trial%2, 2)
+		n := 2 + 3*trial
+		lb, err := baseline.LowerBoundSpider(sp, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Against the UNSEEDED reference solver: the fast search seeds
+		// its lower bound with LowerBoundSpider, so comparing against
+		// it would be circular.
+		mk, _, err := spider.ReferenceMinMakespan(sp, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lb > mk {
+			t.Errorf("%v n=%d: lower bound %d exceeds optimum %d", sp, n, lb, mk)
+		}
+	}
+}

@@ -73,14 +73,20 @@ func parseTimes(spec string) ([]platform.Time, error) {
 	return vals, nil
 }
 
-// LoadPlatform reads a tagged platform JSON file.
+// LoadPlatform reads a tagged platform JSON file. Decode and validation
+// failures name the offending file so tool errors point somewhere
+// actionable.
 func LoadPlatform(path string) (platform.Decoded, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return platform.Decoded{}, fmt.Errorf("cli: opening platform file: %w", err)
 	}
 	defer f.Close()
-	return platform.Read(f)
+	dec, err := platform.Read(f)
+	if err != nil {
+		return platform.Decoded{}, fmt.Errorf("cli: platform file %s: %w", path, err)
+	}
+	return dec, nil
 }
 
 // ParseRegime maps a regime name to the generator constant.

@@ -1,24 +1,29 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"net/http/httptest"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/platform"
+	"repro/internal/service"
+	"repro/internal/service/client"
 	"repro/internal/spider"
 )
 
 // This file is the benchmark-regression tooling behind msbench -json:
-// it measures the E5 (chain) and E5c (spider) hot-path families with a
-// noise-robust min-of-reps harness, dumps them as a JSON baseline
-// (BENCH_seed.json at the repo root holds the seed-era numbers, taken
-// with the reference spider solver), and compares a fresh measurement
-// against a stored baseline. Comparisons scale by a calibration
-// workload measured in both runs, so a baseline recorded on one
-// machine still yields meaningful ratios on another.
+// it measures the E5 (chain) and E5c (spider) hot-path families and the
+// SVC service-layer families with a noise-robust min-of-reps harness,
+// dumps them as a JSON baseline (BENCH_seed.json at the repo root holds
+// the seed-era numbers, taken with the reference spider solver), and
+// compares a fresh measurement against a stored baseline. Comparisons
+// scale by a calibration workload measured in both runs, so a baseline
+// recorded on one machine still yields meaningful ratios on another.
 
 // BenchPoint is one measured (family, size) cell.
 type BenchPoint struct {
@@ -72,10 +77,14 @@ func calibrate() (int64, error) {
 
 // chainSizes and spiderSizes are the regression grid; spiderSizes match
 // BenchmarkSpiderMinMakespan so the Go benchmark and the JSON baseline
-// describe the same cells.
+// describe the same cells. svcSizes are the service-layer warm-query
+// task counts and svcFanIn the concurrent identical requests of the
+// coalesced-throughput cell.
 var (
 	chainSizes  = []int{512, 2048}
 	spiderSizes = []int{32, 128, 512}
+	svcSizes    = []int{128, 512}
+	svcFanIn    = 32
 )
 
 // MeasureBenchBaseline measures the E5/E5c families. With reference
@@ -122,6 +131,9 @@ func MeasureBenchBaseline(reference bool) (*BenchBaseline, error) {
 		}
 		b.Points = append(b.Points, BenchPoint{Family: "E5c-spider", Size: n, NsPerOp: d.Nanoseconds()})
 	}
+	if err := measureServiceFamilies(b, sp); err != nil {
+		return nil, err
+	}
 	// Calibrate again after the families: if the machine picked up load
 	// mid-run, the slower of the two calibrations keeps the comparison
 	// lenient — this is a regression guard, not a precision benchmark.
@@ -131,6 +143,64 @@ func MeasureBenchBaseline(reference bool) (*BenchBaseline, error) {
 	}
 	b.CalibrationNs = max(calBefore, calAfter)
 	return b, nil
+}
+
+// measureServiceFamilies measures the scheduling-service layer over
+// loopback HTTP on the same spider as the E5c family:
+//
+//   - SVC-warm: latency of one min-makespan query against a warmed
+//     solver — the steady-state cost a caller pays once the service
+//     holds the platform's plans (HTTP round trip + memoized solve);
+//   - SVC-coalesce: per-request latency when svcFanIn concurrent
+//     identical queries hit the service at once, which exercises the
+//     singleflight path under contention.
+func measureServiceFamilies(b *BenchBaseline, sp platform.Spider) error {
+	svc := service.New(service.Config{})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	cl := client.New(ts.URL, ts.Client())
+	ctx := context.Background()
+
+	for _, n := range svcSizes {
+		// One cold query warms the solver past this size; the measured
+		// reps are all warm-path.
+		if _, err := cl.MinMakespanSpider(ctx, sp, n, false); err != nil {
+			return err
+		}
+		d, err := minTime(benchReps, func() error {
+			_, err := cl.MinMakespanSpider(ctx, sp, n, false)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		b.Points = append(b.Points, BenchPoint{Family: "SVC-warm", Size: n, NsPerOp: d.Nanoseconds()})
+	}
+
+	n := svcSizes[len(svcSizes)-1]
+	d, err := minTime(benchReps, func() error {
+		var wg sync.WaitGroup
+		errs := make([]error, svcFanIn)
+		wg.Add(svcFanIn)
+		for i := 0; i < svcFanIn; i++ {
+			go func(i int) {
+				defer wg.Done()
+				_, errs[i] = cl.MinMakespanSpider(ctx, sp, n, false)
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	b.Points = append(b.Points, BenchPoint{Family: "SVC-coalesce", Size: n, NsPerOp: d.Nanoseconds() / int64(svcFanIn)})
+	return nil
 }
 
 // WriteJSON dumps the baseline.

@@ -1,0 +1,87 @@
+package platform
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+)
+
+// Hash is a canonical platform fingerprint, used by the scheduling
+// service to key caches of warmed solvers. Two platforms share a hash
+// exactly when they pose the same scheduling problem:
+//
+//   - spiders are order-normalized over legs, so isomorphic spiders
+//     (same multiset of legs, any order) share an entry;
+//   - a chain hashes as the one-leg spider it is equivalent to;
+//   - a fork hashes as its single-node-leg spider form (Fork.Spider).
+//
+// The fingerprint is SHA-256 over an injective canonical encoding, so
+// distinct problems collide only with cryptographic improbability —
+// safe to treat hash equality as platform equivalence.
+type Hash [sha256.Size]byte
+
+// String renders the hash as lowercase hex.
+func (h Hash) String() string { return hex.EncodeToString(h[:]) }
+
+// encodeLeg serialises one leg injectively: node count then (c, w)
+// pairs, all as fixed-width big-endian. The length prefix keeps leg
+// boundaries unambiguous when encodings are concatenated.
+func encodeLeg(ch Chain) []byte {
+	buf := make([]byte, 0, 8+16*len(ch.Nodes))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(ch.Nodes)))
+	for _, n := range ch.Nodes {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(n.Comm))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(n.Work))
+	}
+	return buf
+}
+
+// HashSpider returns the canonical fingerprint of the spider. Legs are
+// sorted by their encoded bytes before hashing, so any permutation of
+// the same legs produces the same hash.
+func HashSpider(sp Spider) Hash {
+	encs := make([][]byte, len(sp.Legs))
+	for i, leg := range sp.Legs {
+		encs[i] = encodeLeg(leg)
+	}
+	sort.Slice(encs, func(i, j int) bool { return bytes.Compare(encs[i], encs[j]) < 0 })
+	h := sha256.New()
+	h.Write([]byte("ms-platform/v1"))
+	var cnt [8]byte
+	binary.BigEndian.PutUint64(cnt[:], uint64(len(encs)))
+	h.Write(cnt[:])
+	for _, e := range encs {
+		h.Write(e)
+	}
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// HashChain returns the fingerprint of the chain: the hash of the
+// equivalent one-leg spider.
+func HashChain(ch Chain) Hash {
+	return HashSpider(Spider{Legs: []Chain{ch}})
+}
+
+// HashFork returns the fingerprint of the fork: the hash of its
+// single-node-leg spider form, so a fork and Fork.Spider() share a
+// cache entry.
+func HashFork(f Fork) Hash {
+	return HashSpider(f.Spider())
+}
+
+// Hash returns the fingerprint of whichever platform the decoded file
+// carries.
+func (d Decoded) Hash() Hash {
+	switch d.Kind {
+	case "chain":
+		return HashChain(*d.Chain)
+	case "spider":
+		return HashSpider(*d.Spider)
+	default:
+		return HashFork(*d.Fork)
+	}
+}

@@ -1,0 +1,147 @@
+package platform
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomSpider draws a small random spider from the generator regimes.
+func randomSpider(r *rand.Rand) Spider {
+	g := MustGenerator(r.Int63(), 1, 9, Heterogeneity(r.Intn(4)))
+	return g.Spider(1+r.Intn(5), 1+r.Intn(4))
+}
+
+// TestHashLegPermutationInvariant: the fingerprint must not depend on
+// leg order.
+func TestHashLegPermutationInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sp := randomSpider(r)
+		want := HashSpider(sp)
+		for trial := 0; trial < 4; trial++ {
+			perm := sp.Clone()
+			r.Shuffle(len(perm.Legs), func(i, j int) {
+				perm.Legs[i], perm.Legs[j] = perm.Legs[j], perm.Legs[i]
+			})
+			if HashSpider(perm) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHashRoundTrip: writing a platform file and reading it back must
+// preserve the fingerprint, for every kind.
+func TestHashRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sp := randomSpider(r)
+		var buf bytes.Buffer
+		if err := WriteSpider(&buf, sp); err != nil {
+			return false
+		}
+		dec, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if dec.Hash() != HashSpider(sp) {
+			return false
+		}
+
+		ch := sp.Legs[0]
+		buf.Reset()
+		if err := WriteChain(&buf, ch); err != nil {
+			return false
+		}
+		dec, err = Read(&buf)
+		if err != nil {
+			return false
+		}
+		if dec.Hash() != HashChain(ch) {
+			return false
+		}
+
+		fk := Fork{Slaves: ch.Nodes}
+		buf.Reset()
+		if err := WriteFork(&buf, fk); err != nil {
+			return false
+		}
+		dec, err = Read(&buf)
+		if err != nil {
+			return false
+		}
+		return dec.Hash() == HashFork(fk)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHashPerturbationDistinct: changing any single parameter, adding a
+// node, or adding a leg must change the fingerprint.
+func TestHashPerturbationDistinct(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sp := randomSpider(r)
+		want := HashSpider(sp)
+
+		bump := sp.Clone()
+		leg := r.Intn(len(bump.Legs))
+		node := r.Intn(bump.Legs[leg].Len())
+		if r.Intn(2) == 0 {
+			bump.Legs[leg].Nodes[node].Comm++
+		} else {
+			bump.Legs[leg].Nodes[node].Work++
+		}
+		if HashSpider(bump) == want {
+			return false
+		}
+
+		deeper := sp.Clone()
+		deeper.Legs[leg].Nodes = append(deeper.Legs[leg].Nodes, Node{Comm: 1, Work: 1})
+		if HashSpider(deeper) == want {
+			return false
+		}
+
+		wider := sp.Clone()
+		wider.Legs = append(wider.Legs, Chain{Nodes: []Node{{Comm: 1, Work: 1}}})
+		return HashSpider(wider) != want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHashEquivalentForms: a chain hashes as its one-leg spider and a
+// fork as its spider form, so equivalent problems share cache entries.
+func TestHashEquivalentForms(t *testing.T) {
+	ch := NewChain(2, 5, 3, 3)
+	if HashChain(ch) != HashSpider(Spider{Legs: []Chain{ch}}) {
+		t.Error("chain and one-leg spider fingerprints diverge")
+	}
+	fk := NewFork(1, 3, 2, 2)
+	if HashFork(fk) != HashSpider(fk.Spider()) {
+		t.Error("fork and spider-form fingerprints diverge")
+	}
+	// A fork is NOT its slaves chained: same nodes, different topology.
+	if HashFork(fk) == HashChain(Chain{Nodes: fk.Slaves}) {
+		t.Error("fork and chain over the same nodes share a fingerprint")
+	}
+}
+
+// TestHashLegBoundaries: moving a node across a leg boundary changes
+// the problem and must change the fingerprint (guards the injective
+// length-prefixed encoding).
+func TestHashLegBoundaries(t *testing.T) {
+	a := NewSpider(NewChain(1, 2, 3, 4), NewChain(5, 6))
+	b := NewSpider(NewChain(1, 2), NewChain(3, 4, 5, 6))
+	if HashSpider(a) == HashSpider(b) {
+		t.Error("different leg boundaries share a fingerprint")
+	}
+}

@@ -1,0 +1,73 @@
+package platform
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHorizonOKBoundary pins the overflow guard: the bound is
+// 4·(n+1)·S ≤ MaxTime with S the checked sum of every c and w in the
+// chain, so the largest fitting n passes, n+1 fails, and oversized
+// values anywhere in the chain — not just node 1 — are rejected.
+func TestHorizonOKBoundary(t *testing.T) {
+	c, w := Time(1<<40), Time(3)
+	ch := Chain{Nodes: []Node{{Comm: c, Work: w}}}
+	s := c + w
+	maxN := int(MaxTime/(4*s)) - 1
+	if !ch.HorizonOK(maxN) {
+		t.Errorf("HorizonOK(%d) = false at the limit", maxN)
+	}
+	if got := ch.MasterOnlyMakespan(maxN); got <= 0 {
+		t.Errorf("passing horizon wrapped: MasterOnlyMakespan(%d) = %d", maxN, got)
+	}
+	if ch.HorizonOK(maxN + 2) {
+		t.Errorf("HorizonOK(%d) = true past the limit", maxN+2)
+	}
+
+	// Wrap-to-positive on node 1: c+w alone overflows.
+	huge := Chain{Nodes: []Node{{Comm: math.MaxInt64, Work: 1}}}
+	if huge.HorizonOK(3) {
+		t.Error("HorizonOK accepted a c+w overflow")
+	}
+
+	// Oversized latency in a DEEP node: node 1 is sane, but the
+	// backward engine subtracts every node's latency, so the guard
+	// must inspect the whole chain.
+	deep := Chain{Nodes: []Node{
+		{Comm: 1, Work: 1},
+		{Comm: 1 << 62, Work: 1},
+		{Comm: 1 << 62, Work: 1},
+	}}
+	if deep.HorizonOK(3) {
+		t.Error("HorizonOK accepted oversized latencies in deep nodes")
+	}
+
+	// Absurd task counts are rejected even on tiny platforms.
+	if NewChain(1, 1).HorizonOK(math.MaxInt64 / 2) {
+		t.Error("HorizonOK accepted an absurd task count")
+	}
+
+	// Sane platforms and degenerate task counts always pass.
+	if !NewChain(2, 5, 3, 3).HorizonOK(1 << 30) {
+		t.Error("HorizonOK rejected a sane platform")
+	}
+	if !huge.HorizonOK(0) {
+		t.Error("HorizonOK(0) must pass (no tasks, no horizon)")
+	}
+
+	// Spider: every leg must pass, not just the best one; CheckHorizon
+	// carries the shared message.
+	sp := NewSpider(NewChain(1, 1), deep)
+	if sp.HorizonOK(3) {
+		t.Error("spider HorizonOK ignored an oversized leg")
+	}
+	if err := sp.CheckHorizon(3); err == nil {
+		t.Error("spider CheckHorizon returned nil for an oversized leg")
+	}
+	if !NewSpider(NewChain(1, 1), NewChain(2, 2)).HorizonOK(1 << 30) {
+		t.Error("spider HorizonOK rejected a sane spider")
+	}
+	if err := NewChain(2, 5).CheckHorizon(1 << 20); err != nil {
+		t.Errorf("CheckHorizon rejected a sane chain: %v", err)
+	}
+}

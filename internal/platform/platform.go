@@ -160,6 +160,59 @@ func (ch Chain) MasterOnlyMakespan(n int) Time {
 	return c1 + Time(n-1)*max(w1, c1) + w1
 }
 
+// HorizonOK reports whether scheduling n tasks on the chain stays
+// clear of integer overflow. Callers taking untrusted platforms
+// (cmd/msched, the scheduling service) reject inputs that fail this
+// check instead of surfacing wrapped arithmetic as baffling internal
+// errors — or worse, silently wrong schedules.
+//
+// The condition is conservative but provably sufficient for every
+// arithmetic path in the solvers. Let S = Σ_j (c_j + w_j) over the
+// whole chain (computed with checked summation). The backward engine's
+// state starts at the horizon ≤ n·S (MasterOnlyMakespan uses only
+// node-1 values, each ≤ S) and each candidate chain subtracts at most
+// S, so after n placements every value lies in [−(n+1)·S, n·S]; the
+// fork packing adds emission prefix sums (≤ n·S) to virtual-slave
+// processing times (≤ (n+1)·S). Requiring 4·(n+1)·S ≤ MaxTime
+// therefore keeps every intermediate within the representable range.
+// The bound is astronomically generous for sane platforms: at the
+// service's default per-query limit of 2²⁰ tasks it still admits
+// parameter sums beyond 10¹².
+func (ch Chain) HorizonOK(n int) bool {
+	if n <= 0 || len(ch.Nodes) == 0 {
+		return true
+	}
+	nn := Time(n)
+	if nn >= MaxTime/4 {
+		return false
+	}
+	var sum Time
+	for _, nd := range ch.Nodes {
+		if nd.Comm > MaxTime-sum {
+			return false
+		}
+		sum += nd.Comm
+		if nd.Work > MaxTime-sum {
+			return false
+		}
+		sum += nd.Work
+	}
+	return sum <= MaxTime/(4*(nn+1))
+}
+
+// CheckHorizon is HorizonOK as an error, so every untrusted-input
+// boundary rejects oversized platforms with one consistent message.
+func (ch Chain) CheckHorizon(n int) error {
+	if ch.HorizonOK(n) {
+		return nil
+	}
+	return horizonErr(n)
+}
+
+func horizonErr(n int) error {
+	return fmt.Errorf("platform: values or task count too large: the %d-task horizon overflows the integral time range", n)
+}
+
 // String renders the chain in the style of Fig. 1:
 //
 //	M --2--> [5] --3--> [3]
@@ -228,6 +281,28 @@ func (sp Spider) MasterOnlyMakespan(n int) Time {
 		}
 	}
 	return best
+}
+
+// HorizonOK reports whether every leg passes Chain.HorizonOK for n
+// tasks. All legs must pass, not just the one realising
+// MasterOnlyMakespan: the spider solver grows a backward plan on every
+// leg, so an oversized leg overflows even when a sane leg provides the
+// search bound.
+func (sp Spider) HorizonOK(n int) bool {
+	for _, leg := range sp.Legs {
+		if !leg.HorizonOK(n) {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckHorizon is HorizonOK as an error (see Chain.CheckHorizon).
+func (sp Spider) CheckHorizon(n int) error {
+	if sp.HorizonOK(n) {
+		return nil
+	}
+	return horizonErr(n)
 }
 
 // String renders the spider as one line per leg:

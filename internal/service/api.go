@@ -1,0 +1,150 @@
+// Package service is the long-lived scheduling service layer: it
+// answers (platform, n) queries over HTTP+JSON, backed by an LRU cache
+// of warmed solvers keyed by the canonical platform fingerprint
+// (platform.Hash) with singleflight coalescing of identical in-flight
+// queries.
+//
+// The memoized solvers (spider.Solver, core.Incremental) are built for
+// exactly this reuse pattern: one cached per-leg backward construction
+// answers every (task count, deadline) probe, so the expensive work is
+// paid once per platform and amortised across all traffic that follows.
+// The service keeps those warmed solvers alive across requests,
+// deduplicates concurrent identical queries into a single solve, bounds
+// concurrent solver work with a worker cap, and reports cache/coalesce
+// metadata per response plus aggregate counters on /stats.
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// Op names one query kind.
+type Op string
+
+const (
+	// OpMinMakespan asks for the optimal makespan of exactly N tasks
+	// and (optionally) a schedule achieving it.
+	OpMinMakespan Op = "min_makespan"
+	// OpMaxTasks asks how many of at most N tasks complete within the
+	// deadline.
+	OpMaxTasks Op = "max_tasks"
+	// OpScheduleWithin asks for a schedule of as many tasks as possible
+	// — at most N — completing within the deadline.
+	OpScheduleWithin Op = "schedule_within"
+)
+
+// needsDeadline reports whether the op reads the Deadline field.
+func (op Op) needsDeadline() bool { return op != OpMinMakespan }
+
+// valid reports whether the op is one of the three query kinds.
+func (op Op) valid() bool {
+	switch op {
+	case OpMinMakespan, OpMaxTasks, OpScheduleWithin:
+		return true
+	}
+	return false
+}
+
+// Request is one /solve query. Platform carries a tagged platform
+// envelope in the msgen/msched file format (platform.Read); chains,
+// spiders and forks are all accepted.
+type Request struct {
+	Platform json.RawMessage `json:"platform"`
+	Op       Op              `json:"op"`
+	N        int             `json:"n"`
+	// Deadline is read by max_tasks and schedule_within.
+	Deadline platform.Time `json:"deadline,omitempty"`
+	// IncludeSchedule asks for the full schedule in the response; by
+	// default only makespan/task counts travel, keeping warm-path
+	// responses small.
+	IncludeSchedule bool `json:"include_schedule,omitempty"`
+}
+
+// Meta is the per-response cache/coalesce metadata.
+type Meta struct {
+	// PlatformHash is the canonical fingerprint the query was keyed by.
+	PlatformHash string `json:"platform_hash"`
+	// Cache is "hit" when a warmed solver answered, "miss" when this
+	// query triggered the solver construction.
+	Cache string `json:"cache"`
+	// Coalesced is true when this request did not solve anything: it
+	// joined an identical in-flight query and shares its result.
+	Coalesced bool `json:"coalesced"`
+	// SolveNs is the wall time of the solve this response came from.
+	SolveNs int64 `json:"solve_ns"`
+}
+
+// Response is one /solve answer.
+type Response struct {
+	Op       Op            `json:"op"`
+	N        int           `json:"n"`
+	Deadline platform.Time `json:"deadline,omitempty"`
+	// Makespan is the optimal makespan (min_makespan) or the makespan
+	// of the returned schedule (schedule_within); 0 for max_tasks.
+	Makespan platform.Time `json:"makespan,omitempty"`
+	// Tasks is the number of tasks scheduled/counted.
+	Tasks int `json:"tasks"`
+	// Schedule is a tagged schedule envelope (sched.ReadSchedule
+	// decodes it) when IncludeSchedule was set.
+	Schedule json.RawMessage `json:"schedule,omitempty"`
+	Meta     Meta            `json:"meta"`
+}
+
+// Stats is the aggregate counter snapshot served on /stats.
+type Stats struct {
+	// Hits counts queries answered by an already-warmed solver.
+	Hits uint64 `json:"hits"`
+	// Misses counts queries that found no warmed solver.
+	Misses uint64 `json:"misses"`
+	// Coalesced counts queries that joined an identical in-flight
+	// query instead of solving.
+	Coalesced uint64 `json:"coalesced"`
+	// Constructions counts actual solver builds; concurrent misses on
+	// one platform still construct once.
+	Constructions uint64 `json:"constructions"`
+	// Evictions counts warmed solvers dropped by the LRU.
+	Evictions uint64 `json:"evictions"`
+	// Entries is the current number of warmed solvers.
+	Entries int `json:"entries"`
+}
+
+// NewChainRequest builds a /solve request for a chain.
+func NewChainRequest(ch platform.Chain, op Op, n int, deadline platform.Time) (*Request, error) {
+	var buf bytes.Buffer
+	if err := platform.WriteChain(&buf, ch); err != nil {
+		return nil, err
+	}
+	return &Request{Platform: buf.Bytes(), Op: op, N: n, Deadline: deadline}, nil
+}
+
+// NewSpiderRequest builds a /solve request for a spider.
+func NewSpiderRequest(sp platform.Spider, op Op, n int, deadline platform.Time) (*Request, error) {
+	var buf bytes.Buffer
+	if err := platform.WriteSpider(&buf, sp); err != nil {
+		return nil, err
+	}
+	return &Request{Platform: buf.Bytes(), Op: op, N: n, Deadline: deadline}, nil
+}
+
+// NewForkRequest builds a /solve request for a fork.
+func NewForkRequest(f platform.Fork, op Op, n int, deadline platform.Time) (*Request, error) {
+	var buf bytes.Buffer
+	if err := platform.WriteFork(&buf, f); err != nil {
+		return nil, err
+	}
+	return &Request{Platform: buf.Bytes(), Op: op, N: n, Deadline: deadline}, nil
+}
+
+// DecodeSchedule decodes the response's schedule envelope; it errors
+// when the response carries none.
+func (r *Response) DecodeSchedule() (sched.DecodedSchedule, error) {
+	if len(r.Schedule) == 0 {
+		return sched.DecodedSchedule{}, fmt.Errorf("service: response carries no schedule (set include_schedule)")
+	}
+	return sched.ReadSchedule(bytes.NewReader(r.Schedule))
+}

@@ -1,0 +1,130 @@
+// Package client is the Go client for the msserve scheduling service:
+// it speaks the HTTP+JSON protocol of internal/service and decodes the
+// typed responses, so in-process callers and remote callers share one
+// wire format.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/platform"
+	"repro/internal/service"
+)
+
+// Client talks to one msserve instance. The zero value is not usable;
+// construct with New.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the service at base (e.g.
+// "http://127.0.0.1:8080"). httpClient may be nil for
+// http.DefaultClient.
+func New(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+}
+
+// Do posts one solve request and decodes the response. Non-2xx answers
+// surface as errors carrying the server's message.
+func (c *Client) Do(ctx context.Context, req *service.Request) (*service.Response, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding request: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/solve", bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	defer hresp.Body.Close()
+	// Read one byte past the cap so truncation is an explicit error
+	// rather than a baffling JSON decode failure on a cut-off body.
+	const maxResponseBytes = 256 << 20
+	body, err := io.ReadAll(io.LimitReader(hresp.Body, maxResponseBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("client: reading response: %w", err)
+	}
+	if len(body) > maxResponseBytes {
+		return nil, fmt.Errorf("client: response exceeds %d bytes; narrow the query or skip include_schedule", maxResponseBytes)
+	}
+	if hresp.StatusCode != http.StatusOK {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+			return nil, fmt.Errorf("client: server rejected the query: %s", eb.Error)
+		}
+		return nil, fmt.Errorf("client: server answered %s", hresp.Status)
+	}
+	var resp service.Response
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, fmt.Errorf("client: decoding response: %w", err)
+	}
+	return &resp, nil
+}
+
+// MinMakespanSpider asks for the optimal makespan of n tasks on the
+// spider; withSchedule also fetches a schedule achieving it.
+func (c *Client) MinMakespanSpider(ctx context.Context, sp platform.Spider, n int, withSchedule bool) (*service.Response, error) {
+	req, err := service.NewSpiderRequest(sp, service.OpMinMakespan, n, 0)
+	if err != nil {
+		return nil, err
+	}
+	req.IncludeSchedule = withSchedule
+	return c.Do(ctx, req)
+}
+
+// MinMakespanChain is MinMakespanSpider for chains.
+func (c *Client) MinMakespanChain(ctx context.Context, ch platform.Chain, n int, withSchedule bool) (*service.Response, error) {
+	req, err := service.NewChainRequest(ch, service.OpMinMakespan, n, 0)
+	if err != nil {
+		return nil, err
+	}
+	req.IncludeSchedule = withSchedule
+	return c.Do(ctx, req)
+}
+
+// MaxTasksSpider asks how many of at most n tasks complete on the
+// spider within the deadline.
+func (c *Client) MaxTasksSpider(ctx context.Context, sp platform.Spider, n int, deadline platform.Time) (*service.Response, error) {
+	req, err := service.NewSpiderRequest(sp, service.OpMaxTasks, n, deadline)
+	if err != nil {
+		return nil, err
+	}
+	return c.Do(ctx, req)
+}
+
+// Stats fetches the service's aggregate counters.
+func (c *Client) Stats(ctx context.Context) (*service.Stats, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/stats", nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("client: stats answered %s", hresp.Status)
+	}
+	var st service.Stats
+	if err := json.NewDecoder(hresp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("client: decoding stats: %w", err)
+	}
+	return &st, nil
+}

@@ -1,0 +1,192 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/service"
+	"repro/internal/spider"
+)
+
+func testServer(t *testing.T, cfg service.Config) (*service.Service, *Client) {
+	t.Helper()
+	svc := service.New(cfg)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return svc, New(ts.URL, ts.Client())
+}
+
+func testSpider() platform.Spider {
+	return platform.NewSpider(
+		platform.NewChain(2, 5, 3, 3),
+		platform.NewChain(1, 4),
+	)
+}
+
+// TestClientRoundTrip drives the full wire path: solve over HTTP, read
+// cache metadata, decode the schedule, check /stats.
+func TestClientRoundTrip(t *testing.T) {
+	_, cl := testServer(t, service.Config{})
+	ctx := context.Background()
+	sp := testSpider()
+	n := 15
+
+	cold, err := cl.MinMakespanSpider(ctx, sp, n, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := cl.MinMakespanSpider(ctx, sp, n, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Meta.Cache != "miss" || warm.Meta.Cache != "hit" {
+		t.Errorf("cache metadata: cold %q warm %q, want miss then hit", cold.Meta.Cache, warm.Meta.Cache)
+	}
+
+	wantMk, wantSched, err := spider.MinMakespan(sp, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Makespan != wantMk {
+		t.Errorf("makespan %d, want %d", warm.Makespan, wantMk)
+	}
+	dec, err := warm.DecodeSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Spider.Equal(wantSched) {
+		t.Error("wire schedule differs from the direct solve")
+	}
+	if err := dec.Spider.Verify(); err != nil {
+		t.Errorf("wire schedule infeasible: %v", err)
+	}
+
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits != 1 || st.Misses != 1 || st.Constructions != 1 {
+		t.Errorf("stats over the wire: %+v, want 1 hit, 1 miss, 1 construction", st)
+	}
+
+	mt, err := cl.MaxTasksSpider(ctx, sp, 20, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTasks, err := spider.MaxTasks(sp, 20, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Tasks != wantTasks {
+		t.Errorf("max_tasks = %d, want %d", mt.Tasks, wantTasks)
+	}
+}
+
+// TestClientCoalescingOverHTTP proves coalescing end to end: M
+// concurrent identical HTTP requests cause exactly one solver
+// construction. The server's build hook holds the construction open
+// until the other M−1 requests have joined in-flight.
+func TestClientCoalescingOverHTTP(t *testing.T) {
+	const m = 8
+	svc := service.New(service.Config{})
+	release := make(chan struct{})
+	svc.SetBuildHookForTest(func() { <-release })
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	cl := New(ts.URL, ts.Client())
+
+	sp := testSpider()
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	resps := make([]*service.Response, m)
+	errs := make([]error, m)
+	wg.Add(m)
+	for i := 0; i < m; i++ {
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = cl.MinMakespanSpider(ctx, sp, 30, true)
+		}(i)
+	}
+	waitForCoalesced(t, svc, m-1)
+	close(release)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	st := svc.Stats()
+	if st.Constructions != 1 || st.Coalesced != m-1 {
+		t.Errorf("stats = %+v, want exactly 1 construction and %d coalesced", st, m-1)
+	}
+	wantMk, _, err := spider.MinMakespan(sp, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, resp := range resps {
+		if resp.Makespan != wantMk {
+			t.Errorf("response %d: makespan %d, want %d", i, resp.Makespan, wantMk)
+		}
+	}
+}
+
+// TestClientServerErrors: the server's rejection travels back as a
+// useful client error.
+func TestClientServerErrors(t *testing.T) {
+	_, cl := testServer(t, service.Config{})
+	ctx := context.Background()
+
+	req := &service.Request{Platform: []byte(`{"kind":"noodle"}`), Op: service.OpMinMakespan, N: 3}
+	_, err := cl.Do(ctx, req)
+	if err == nil || !strings.Contains(err.Error(), "unknown platform kind") {
+		t.Errorf("malformed platform error = %v, want the server's message", err)
+	}
+
+	_, err = cl.Do(ctx, &service.Request{Op: service.Op("nope"), N: 1})
+	if err == nil || !strings.Contains(err.Error(), "unknown op") {
+		t.Errorf("unknown op error = %v", err)
+	}
+}
+
+// TestHandlerMethodsAndHealth covers the non-solve surface.
+func TestHandlerMethodsAndHealth(t *testing.T) {
+	svc := service.New(service.Config{})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d", resp.StatusCode)
+	}
+
+	resp, err = ts.Client().Get(ts.URL + "/solve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /solve = %d, want 405", resp.StatusCode)
+	}
+}
+
+func waitForCoalesced(t *testing.T, svc *service.Service, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for svc.Stats().Coalesced != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("coalesced stuck at %d, want %d", svc.Stats().Coalesced, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,76 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// maxRequestBytes bounds a /solve body; a platform description is tiny,
+// so anything near the limit is abuse, not traffic.
+const maxRequestBytes = 16 << 20
+
+// Handler returns the service's HTTP surface:
+//
+//	POST /solve   — one Request in, one Response out (JSON)
+//	GET  /stats   — aggregate counters (Stats, JSON)
+//	GET  /healthz — liveness probe
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/solve", s.handleSolve)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// errorBody is the JSON error envelope of every non-2xx answer.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to do on error
+}
+
+func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST a solve request"})
+		return
+	}
+	var req Request
+	body := http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding request: %v", err)})
+		return
+	}
+	resp, err := s.Solve(&req)
+	if err != nil {
+		// Validation errors (malformed platform, invalid op/n/deadline,
+		// oversized values) are the client's fault; anything wrapping
+		// ErrInternal — a recovered panic, a violated invariant — is
+		// ours and must show up as a 5xx in monitoring.
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrInternal) {
+			status = http.StatusInternalServerError
+		}
+		writeJSON(w, status, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET the stats"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}

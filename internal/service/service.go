@@ -1,0 +1,506 @@
+package service
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/spider"
+)
+
+// Config sizes the service.
+type Config struct {
+	// CacheSize is the maximum number of warmed solvers kept; least
+	// recently used entries are evicted beyond it. Default 64.
+	CacheSize int
+	// Workers caps concurrent solver work (constructions and solves);
+	// requests beyond the cap queue. Default GOMAXPROCS.
+	Workers int
+	// MaxN rejects queries whose task count exceeds it, bounding the
+	// memory one query can pin in a warmed plan. Default 1 << 20.
+	MaxN int
+}
+
+// Service answers scheduling queries from an LRU cache of warmed
+// solvers keyed by the canonical platform fingerprint. It is safe for
+// concurrent use.
+type Service struct {
+	cfg Config
+	sem chan struct{} // worker slots: held during constructions and solves
+
+	mu       sync.Mutex
+	entries  map[ckey]*list.Element // -> *entry in lru
+	lru      *list.List             // front = most recently used
+	flight   map[string]*call       // identical in-flight queries
+	building map[ckey]*construction // in-flight solver builds
+	stats    Stats
+
+	// testHookBuild, when non-nil, runs at the start of every solver
+	// construction. It is a test seam: holding the hook open keeps the
+	// construction in flight so coalescing can be asserted
+	// deterministically. Set it before serving traffic.
+	testHookBuild func()
+}
+
+// New returns an empty service with the given configuration.
+func New(cfg Config) *Service {
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxN <= 0 {
+		cfg.MaxN = 1 << 20
+	}
+	return &Service{
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.Workers),
+		entries:  make(map[ckey]*list.Element),
+		lru:      list.New(),
+		flight:   make(map[string]*call),
+		building: make(map[ckey]*construction),
+	}
+}
+
+// ckey is the cache key: the canonical fingerprint plus the solver
+// kind. The kind matters because a chain and its one-leg spider share
+// a fingerprint by design but are answered by different engines
+// (core.Incremental vs spider.Solver) whose optimal schedules — and
+// wire envelopes — legitimately differ; forks normalise to the spider
+// kind, so a fork and its spider form still share one warmed solver.
+type ckey struct {
+	kind string // "chain" | "spider"
+	hash platform.Hash
+}
+
+// SetBuildHookForTest installs a hook run at the start of every solver
+// construction. It is a test seam — holding the hook open keeps a
+// construction in flight so coalescing can be asserted
+// deterministically — and must be set before the service takes traffic.
+func (s *Service) SetBuildHookForTest(hook func()) { s.testHookBuild = hook }
+
+// Stats returns a snapshot of the aggregate counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = s.lru.Len()
+	return st
+}
+
+// ErrInternal marks errors that are the service's fault — recovered
+// panics, violated invariants — as opposed to request validation
+// failures. The HTTP layer maps it to a 5xx; everything else is a 4xx.
+var ErrInternal = errors.New("service: internal error")
+
+// call is one in-flight query; identical queries wait on done and share
+// the result.
+type call struct {
+	done chan struct{}
+	resp *Response
+	err  error
+}
+
+// construction is one in-flight solver build; queries for the same
+// platform fingerprint wait on done and share the entry.
+type construction struct {
+	done chan struct{}
+	e    *entry
+	err  error
+}
+
+// entry is one warmed solver. Exactly one of inc (chains) and solver
+// (spiders and forks, in first-seen leg order) is set, matching the
+// cache key's kind; neither is safe for concurrent use, so answers
+// serialise on mu.
+type entry struct {
+	key    ckey
+	mu     sync.Mutex
+	inc    *core.Incremental
+	solver *spider.Solver
+}
+
+// query is a parsed, validated request.
+type query struct {
+	req       *Request
+	key       ckey            // forks normalised to the spider kind
+	chain     platform.Chain  // chain kind
+	sp        platform.Spider // spider kind, request leg order
+	flightKey string
+}
+
+// parse decodes and validates the request. Unlike the cache key, the
+// flight key is NOT order-normalised: it digests the literal platform,
+// so coalesced requests share leg numbering and the pre-built response
+// — including its schedule — is correct for every joiner verbatim.
+func (s *Service) parse(req *Request) (*query, error) {
+	if !req.Op.valid() {
+		return nil, fmt.Errorf("service: unknown op %q (want %s, %s or %s)", req.Op, OpMinMakespan, OpMaxTasks, OpScheduleWithin)
+	}
+	if len(req.Platform) == 0 {
+		return nil, fmt.Errorf("service: request carries no platform")
+	}
+	dec, err := platform.Read(bytes.NewReader(req.Platform))
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	q := &query{req: req, key: ckey{hash: dec.Hash()}}
+	horizonN := max(req.N, 1)
+	var horizonErr error
+	var literal []byte
+	switch dec.Kind {
+	case "chain":
+		q.key.kind, q.chain = "chain", *dec.Chain
+		horizonErr = q.chain.CheckHorizon(horizonN)
+		literal, err = json.Marshal(dec.Chain)
+	case "spider":
+		q.key.kind, q.sp = "spider", *dec.Spider
+		horizonErr = q.sp.CheckHorizon(horizonN)
+		literal, err = json.Marshal(dec.Spider)
+	default: // fork
+		q.key.kind, q.sp = "spider", dec.Fork.Spider()
+		horizonErr = q.sp.CheckHorizon(horizonN)
+		literal, err = json.Marshal(q.sp)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("service: encoding platform: %w", err)
+	}
+	if horizonErr != nil {
+		return nil, fmt.Errorf("service: %w", horizonErr)
+	}
+	switch {
+	case req.Op == OpMinMakespan && req.N < 1:
+		return nil, fmt.Errorf("service: %s needs n >= 1, got %d", req.Op, req.N)
+	case req.N < 0:
+		return nil, fmt.Errorf("service: negative task count %d", req.N)
+	case req.Op.needsDeadline() && req.Deadline < 0:
+		return nil, fmt.Errorf("service: %s needs a non-negative deadline, got %d", req.Op, req.Deadline)
+	case req.N > s.cfg.MaxN:
+		return nil, fmt.Errorf("service: task count %d exceeds the per-query limit %d", req.N, s.cfg.MaxN)
+	}
+	lit := sha256.Sum256(literal)
+	q.flightKey = fmt.Sprintf("%s|%s|%s|%d|%d|%t",
+		hex.EncodeToString(lit[:]), q.key.kind, req.Op, req.N, req.Deadline, req.IncludeSchedule)
+	return q, nil
+}
+
+// Solve answers one query, coalescing with identical in-flight queries
+// and reusing (or constructing) the warmed solver for the platform.
+func (s *Service) Solve(req *Request) (resp *Response, err error) {
+	q, err := s.parse(req)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	if c, ok := s.flight[q.flightKey]; ok {
+		// An identical query is already solving: join it.
+		s.stats.Coalesced++
+		s.mu.Unlock()
+		<-c.done
+		if c.err != nil {
+			return nil, c.err
+		}
+		joined := *c.resp
+		joined.Meta.Coalesced = true
+		return &joined, nil
+	}
+	c := &call{done: make(chan struct{})}
+	s.flight[q.flightKey] = c
+	// Resolve the flight on every exit — panics included: a leaked
+	// flight entry would block all future identical queries forever.
+	defer func() {
+		if r := recover(); r != nil {
+			resp, err = nil, fmt.Errorf("%w: %v", ErrInternal, r)
+		}
+		s.mu.Lock()
+		delete(s.flight, q.flightKey)
+		s.mu.Unlock()
+		c.resp, c.err = resp, err
+		close(c.done)
+	}()
+	return s.solveLeading(q)
+}
+
+// solveLeading runs the query that owns the flight slot. It is entered
+// with s.mu held and returns with it released.
+func (s *Service) solveLeading(q *query) (*Response, error) {
+	var e *entry
+	cache := "miss"
+	if el, ok := s.entries[q.key]; ok {
+		s.lru.MoveToFront(el)
+		e = el.Value.(*entry)
+		s.stats.Hits++
+		cache = "hit"
+		s.mu.Unlock()
+	} else if b, ok := s.building[q.key]; ok {
+		// A different query is already building this platform's
+		// solver: wait for it rather than constructing twice.
+		s.stats.Misses++
+		s.mu.Unlock()
+		<-b.done
+		if b.err != nil {
+			return nil, b.err
+		}
+		e = b.e
+	} else {
+		b := &construction{done: make(chan struct{})}
+		s.building[q.key] = b
+		s.stats.Misses++
+		s.mu.Unlock()
+		b.e, b.err = s.construct(q)
+		s.mu.Lock()
+		delete(s.building, q.key)
+		s.mu.Unlock()
+		close(b.done)
+		if b.err != nil {
+			return nil, b.err
+		}
+		e = b.e
+	}
+
+	// Entry mutex BEFORE the worker slot: same-entry queries serialise
+	// on e.mu anyway, and taking a slot first would let them pin every
+	// slot while waiting their turn, starving other platforms. No
+	// deadlock: sem holders never wait on an entry mutex.
+	var solveNs int64
+	sol, err := func() (*solved, error) {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		start := time.Now()
+		defer func() { solveNs = time.Since(start).Nanoseconds() }()
+		return e.answer(q)
+	}()
+	if err != nil {
+		return nil, err
+	}
+	return s.respond(q, sol, cache, solveNs)
+}
+
+// construct builds the warmed solver for the query's platform under a
+// worker slot and inserts it into the LRU, evicting beyond capacity.
+// Constructions are serialised per cache key by the building map, so
+// the insert never races another construction of the same key. Panics
+// out of the solver constructors are converted to errors here so the
+// waiting builds resolve.
+func (s *Service) construct(q *query) (e *entry, err error) {
+	s.sem <- struct{}{}
+	defer func() {
+		<-s.sem
+		if r := recover(); r != nil {
+			e, err = nil, fmt.Errorf("%w: constructing solver: %v", ErrInternal, r)
+		}
+	}()
+	if hook := s.testHookBuild; hook != nil {
+		hook()
+	}
+	e = &entry{key: q.key}
+	if q.key.kind == "chain" {
+		inc, err := core.NewIncremental(q.chain)
+		if err != nil {
+			return nil, err
+		}
+		e.inc = inc
+	} else {
+		solver, err := spider.NewSolver(q.sp)
+		if err != nil {
+			return nil, err
+		}
+		e.solver = solver
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Constructions++
+	s.entries[q.key] = s.lru.PushFront(e)
+	for s.lru.Len() > s.cfg.CacheSize {
+		old := s.lru.Back()
+		s.lru.Remove(old)
+		delete(s.entries, old.Value.(*entry).key)
+		s.stats.Evictions++
+	}
+	return e, nil
+}
+
+// solved is the raw answer of one solve, before wire encoding.
+type solved struct {
+	tasks       int
+	makespan    platform.Time
+	chainSched  *sched.ChainSchedule
+	spiderSched *sched.SpiderSchedule
+}
+
+// answer runs the query against the warmed solver. Callers hold e.mu.
+func (e *entry) answer(q *query) (*solved, error) {
+	n, dl, wantSched := q.req.N, q.req.Deadline, q.req.IncludeSchedule
+	sol := &solved{}
+	if e.inc != nil {
+		switch q.req.Op {
+		case OpMinMakespan:
+			sch, err := e.inc.Schedule(n)
+			if err != nil {
+				return nil, err
+			}
+			sol.tasks, sol.makespan = sch.Len(), sch.Makespan()
+			if wantSched {
+				sol.chainSched = sch
+			}
+		case OpMaxTasks:
+			if wantSched {
+				// One solve serves both: the schedule's length IS the count.
+				sch, err := e.inc.ScheduleWithin(n, dl)
+				if err != nil {
+					return nil, err
+				}
+				sol.tasks, sol.chainSched = sch.Len(), sch
+			} else {
+				sol.tasks = e.inc.FitWithin(n, dl)
+			}
+		case OpScheduleWithin:
+			sch, err := e.inc.ScheduleWithin(n, dl)
+			if err != nil {
+				return nil, err
+			}
+			sol.tasks, sol.makespan = sch.Len(), sch.Makespan()
+			if wantSched {
+				sol.chainSched = sch
+			}
+		}
+		return sol, nil
+	}
+
+	switch q.req.Op {
+	case OpMinMakespan:
+		mk, sch, err := e.solver.MinMakespan(n)
+		if err != nil {
+			return nil, err
+		}
+		sol.tasks, sol.makespan = sch.Len(), mk
+		if wantSched {
+			sol.spiderSched = sch
+		}
+	case OpMaxTasks:
+		if wantSched {
+			// One solve serves both: the schedule's length IS the count.
+			sch, err := e.solver.ScheduleWithin(n, dl)
+			if err != nil {
+				return nil, err
+			}
+			sol.tasks, sol.spiderSched = sch.Len(), sch
+		} else {
+			k, err := e.solver.MaxTasks(n, dl)
+			if err != nil {
+				return nil, err
+			}
+			sol.tasks = k
+		}
+	case OpScheduleWithin:
+		sch, err := e.solver.ScheduleWithin(n, dl)
+		if err != nil {
+			return nil, err
+		}
+		sol.tasks, sol.makespan = sch.Len(), sch.Makespan()
+		if wantSched {
+			sol.spiderSched = sch
+		}
+	}
+	if sol.spiderSched != nil {
+		if err := remapLegs(sol.spiderSched, e.solver.Spider(), q.sp); err != nil {
+			return nil, err
+		}
+	}
+	return sol, nil
+}
+
+// remapLegs rewrites a schedule produced on the cached spider (first-
+// seen leg order) onto the request's leg order. Legs are matched by
+// equal (c, w) sequences; both orders carry the same multiset of legs —
+// they share a canonical fingerprint — so a perfect matching exists,
+// and identical legs are interchangeable: every task keeps its in-leg
+// trajectory and master port slot, so feasibility and makespan carry
+// over verbatim.
+func remapLegs(sch *sched.SpiderSchedule, from, to platform.Spider) error {
+	identity := len(from.Legs) == len(to.Legs)
+	for i := 0; identity && i < len(from.Legs); i++ {
+		identity = chainsEqual(from.Legs[i], to.Legs[i])
+	}
+	if identity {
+		sch.Spider = to
+		return nil
+	}
+	perm := make([]int, len(from.Legs))
+	used := make([]bool, len(to.Legs))
+	for i, leg := range from.Legs {
+		perm[i] = -1
+		for j, cand := range to.Legs {
+			if !used[j] && chainsEqual(leg, cand) {
+				perm[i], used[j] = j, true
+				break
+			}
+		}
+		if perm[i] < 0 {
+			return fmt.Errorf("%w: no leg of the requested spider matches cached leg %d", ErrInternal, i)
+		}
+	}
+	sch.Spider = to
+	for t := range sch.Tasks {
+		sch.Tasks[t].Leg = perm[sch.Tasks[t].Leg]
+	}
+	return nil
+}
+
+func chainsEqual(a, b platform.Chain) bool {
+	if len(a.Nodes) != len(b.Nodes) {
+		return false
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// respond encodes the solved answer onto the wire.
+func (s *Service) respond(q *query, sol *solved, cache string, solveNs int64) (*Response, error) {
+	resp := &Response{
+		Op:       q.req.Op,
+		N:        q.req.N,
+		Tasks:    sol.tasks,
+		Makespan: sol.makespan,
+		Meta: Meta{
+			PlatformHash: q.key.hash.String(),
+			Cache:        cache,
+			SolveNs:      solveNs,
+		},
+	}
+	if q.req.Op.needsDeadline() {
+		resp.Deadline = q.req.Deadline
+	}
+	var buf bytes.Buffer
+	switch {
+	case sol.chainSched != nil:
+		if err := sched.WriteChainSchedule(&buf, sol.chainSched); err != nil {
+			return nil, err
+		}
+		resp.Schedule = buf.Bytes()
+	case sol.spiderSched != nil:
+		if err := sched.WriteSpiderSchedule(&buf, sol.spiderSched); err != nil {
+			return nil, err
+		}
+		resp.Schedule = buf.Bytes()
+	}
+	return resp, nil
+}

@@ -49,6 +49,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/fork"
 	"repro/internal/platform"
@@ -305,12 +306,19 @@ func (s *Solver) ScheduleWithin(n int, deadline platform.Time) (*sched.SpiderSch
 // (the maximum task count within a deadline is non-decreasing in the
 // deadline, so feasibility of n tasks is monotone). The leg plans are
 // grown once, in parallel, for the upper bound; every probe then costs
-// only per-leg binary searches plus one packing.
+// only per-leg binary searches plus one packing. The search is seeded
+// at the steady-state lower bound (baseline.LowerBoundSpider): the
+// bound is proven, so no deadline below it is feasible and the probes
+// it would have spent rejecting them are skipped — the converged
+// optimum, and hence the schedule, are unchanged.
 func (s *Solver) MinMakespan(n int) (platform.Time, *sched.SpiderSchedule, error) {
 	if n <= 0 {
 		return 0, nil, fmt.Errorf("spider: task count %d is not positive", n)
 	}
 	lo, hi := platform.Time(1), s.sp.MasterOnlyMakespan(n)
+	if lb, err := baseline.LowerBoundSpider(s.sp, n); err == nil && lb > lo && lb <= hi {
+		lo = lb
+	}
 	s.prepare(n, hi)
 	for lo < hi {
 		mid := lo + (hi-lo)/2

@@ -21,7 +21,11 @@
 // Deeper machinery (the exhaustive-search oracle, the discrete-event
 // simulator, baseline heuristics, workload scenarios, the experiment
 // harness) lives in internal/ packages; cmd/msbench regenerates every
-// figure and validation table of the reproduction.
+// figure and validation table of the reproduction. The long-lived
+// serving layer — an HTTP service answering (platform, n) queries from
+// an LRU cache of warmed solvers keyed by PlatformHash, with
+// singleflight coalescing — lives in internal/service and runs as
+// cmd/msserve.
 package repro
 
 import (
@@ -67,6 +71,12 @@ type (
 
 	// Interval is one resource occupation, for rendering and export.
 	Interval = trace.Interval
+
+	// PlatformHash is the canonical platform fingerprint: isomorphic
+	// spiders (and their chain/fork equivalent forms) share a hash, so
+	// it keys caches of warmed solvers — the scheduling service
+	// (internal/service, cmd/msserve) is built on it.
+	PlatformHash = platform.Hash
 )
 
 // NewChain builds a chain from alternating (c, w) pairs.
@@ -77,6 +87,18 @@ func NewSpider(legs ...Chain) Spider { return platform.NewSpider(legs...) }
 
 // NewFork builds a fork from alternating (c, w) pairs.
 func NewFork(cw ...Time) Fork { return platform.NewFork(cw...) }
+
+// HashChain returns the canonical fingerprint of the chain (the hash
+// of its equivalent one-leg spider).
+func HashChain(ch Chain) PlatformHash { return platform.HashChain(ch) }
+
+// HashSpider returns the canonical fingerprint of the spider,
+// order-normalised over legs.
+func HashSpider(sp Spider) PlatformHash { return platform.HashSpider(sp) }
+
+// HashFork returns the canonical fingerprint of the fork (the hash of
+// its spider form).
+func HashFork(f Fork) PlatformHash { return platform.HashFork(f) }
 
 // ScheduleChain returns a makespan-optimal schedule of n tasks on the
 // chain (Theorem 1), starting at time 0.
