@@ -7,7 +7,9 @@
 //	msbench -run E1,E4      # selected experiments
 //	msbench -list           # list experiments
 //	msbench -csv dir/       # also dump each table as CSV under dir/
-//	msbench -json file      # dump the E5/E5c regression baseline as JSON
+//	msbench -json file      # dump the E5/E5c/E5w regression baseline as JSON
+//	msbench -cpuprofile f   # profile the run's CPU (any mode)
+//	msbench -memprofile f   # dump a heap profile at exit (any mode)
 //
 // The -json dump measures the hot-path families (chain and spider
 // solvers) with a calibration workload and writes a machine-portable
@@ -22,6 +24,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -38,14 +42,45 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("msbench", flag.ContinueOnError)
 	var (
-		list     = fs.Bool("list", false, "list experiments and exit")
-		runIDs   = fs.String("run", "", "comma-separated experiment IDs (default: all)")
-		csvDir   = fs.String("csv", "", "also write each table as CSV under this directory")
-		jsonPath = fs.String("json", "", "measure the E5/E5c regression families and write the baseline JSON here")
-		refSolve = fs.Bool("reference", false, "with -json: measure the spider family with the unmemoized reference solver")
+		list       = fs.Bool("list", false, "list experiments and exit")
+		runIDs     = fs.String("run", "", "comma-separated experiment IDs (default: all)")
+		csvDir     = fs.String("csv", "", "also write each table as CSV under this directory")
+		jsonPath   = fs.String("json", "", "measure the E5/E5c regression families and write the baseline JSON here")
+		refSolve   = fs.Bool("reference", false, "with -json: measure the spider family with the unmemoized reference solver and the wide family with the slice-based packer")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile (taken at exit, after a GC) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Profiling wraps whatever the invocation does — the experiment
+	// suite or the -json families — so hot-path investigations profile
+	// exactly the workload they will be judged by.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("creating CPU profile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "msbench: creating heap profile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "msbench: writing heap profile:", err)
+			}
+		}()
 	}
 
 	if *jsonPath != "" {

@@ -62,3 +62,24 @@ func TestRunUnknownExperiment(t *testing.T) {
 		t.Error("unknown experiment accepted")
 	}
 }
+
+// TestProfileFlags exercises -cpuprofile/-memprofile around a real (if
+// tiny) run: both profile files must exist and be non-empty afterwards.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out bytes.Buffer
+	if err := run([]string{"-run", "E1", "-cpuprofile", cpu, "-memprofile", mem}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+}

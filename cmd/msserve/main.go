@@ -13,7 +13,7 @@
 //	POST /solve   — a tagged platform envelope (see msgen) plus
 //	                op/n/deadline; answers carry cache and coalesce
 //	                metadata
-//	GET  /stats   — hits, misses, coalesced, constructions, evictions
+//	GET  /stats   — hits, misses, coalesced, memo hits, constructions, evictions
 //	GET  /healthz — liveness
 //
 // The server drains gracefully on SIGINT/SIGTERM. Example session:
@@ -101,7 +101,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		return err
 	}
 	st := svc.Stats()
-	fmt.Fprintf(out, "msserve: stopped (%d hits, %d misses, %d coalesced, %d evictions)\n",
-		st.Hits, st.Misses, st.Coalesced, st.Evictions)
+	fmt.Fprintf(out, "msserve: stopped (%d hits, %d misses, %d coalesced, %d memo hits, %d evictions)\n",
+		st.Hits, st.Misses, st.Coalesced, st.MemoHits, st.Evictions)
 	return nil
 }

@@ -76,6 +76,26 @@ func TestServeQueryShutdown(t *testing.T) {
 		t.Errorf("stats = %+v, want 1 hit and 1 miss", st)
 	}
 
+	// An exact scalar repeat rides the result memo: the first scalar
+	// query solves and seeds it, the second answers from it, and the
+	// counter travels /stats.
+	if _, err := cl.MinMakespanSpider(ctx, sp, n, false); err != nil {
+		t.Fatal(err)
+	}
+	memoed, err := cl.MinMakespanSpider(ctx, sp, n, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !memoed.Meta.Memo || memoed.Makespan != wantMk {
+		t.Errorf("memo repeat: memo=%v makespan=%d, want memo hit with makespan %d", memoed.Meta.Memo, memoed.Makespan, wantMk)
+	}
+	if st, err = cl.Stats(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st.MemoHits != 1 {
+		t.Errorf("memo_hits = %d over the daemon, want 1", st.MemoHits)
+	}
+
 	cancel()
 	select {
 	case err := <-done:
@@ -85,7 +105,7 @@ func TestServeQueryShutdown(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("server did not drain")
 	}
-	for _, frag := range []string{"listening on", "draining", "stopped (1 hits, 1 misses"} {
+	for _, frag := range []string{"listening on", "draining", "stopped (3 hits, 1 misses, 0 coalesced, 1 memo hits"} {
 		if !strings.Contains(out.String(), frag) {
 			t.Errorf("output missing %q:\n%s", frag, out.String())
 		}

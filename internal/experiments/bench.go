@@ -79,12 +79,16 @@ func calibrate() (int64, error) {
 // BenchmarkSpiderMinMakespan so the Go benchmark and the JSON baseline
 // describe the same cells. svcSizes are the service-layer warm-query
 // task counts and svcFanIn the concurrent identical requests of the
-// coalesced-throughput cell.
+// coalesced-throughput cell. wideLegs/wideSizes are the E5w-wide cells:
+// min-makespan on a spider with hundreds of legs, where the packing
+// inner loop dominates and the streaming tree packer earns its keep.
 var (
 	chainSizes  = []int{512, 2048}
 	spiderSizes = []int{32, 128, 512}
 	svcSizes    = []int{128, 512}
 	svcFanIn    = 32
+	wideLegs    = 256
+	wideSizes   = []int{512, 1024}
 )
 
 // MeasureBenchBaseline measures the E5/E5c families. With reference
@@ -95,9 +99,9 @@ func MeasureBenchBaseline(reference bool) (*BenchBaseline, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := &BenchBaseline{Note: "fast solver", CalibrationNs: calBefore}
+	b := &BenchBaseline{Note: "fast solver (streaming tree packer)", CalibrationNs: calBefore}
 	if reference {
-		b.Note = "seed reference solver (spider family via spider.ReferenceMinMakespan)"
+		b.Note = "reference solvers (E5c via spider.ReferenceMinMakespan; E5w-wide via the slice-based packer)"
 	}
 
 	g := platform.MustGenerator(2024, 1, 9, platform.Uniform)
@@ -131,6 +135,25 @@ func MeasureBenchBaseline(reference bool) (*BenchBaseline, error) {
 		}
 		b.Points = append(b.Points, BenchPoint{Family: "E5c-spider", Size: n, NsPerOp: d.Nanoseconds()})
 	}
+	// E5w-wide: the wide-platform family of the E5w experiment. In
+	// reference mode the probes run the legacy slice-based packer — the
+	// pre-tree-packer implementation — freezing the comparison point the
+	// streaming tree packer is guarded against.
+	wide := wideSpider(wideLegs)
+	for _, n := range wideSizes {
+		d, err := minTime(benchReps, func() error {
+			s, err := newWideSolver(wide, reference)
+			if err != nil {
+				return err
+			}
+			_, _, err = s.MinMakespan(n)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		b.Points = append(b.Points, BenchPoint{Family: "E5w-wide", Size: n, NsPerOp: d.Nanoseconds()})
+	}
 	if err := measureServiceFamilies(b, sp); err != nil {
 		return nil, err
 	}
@@ -150,7 +173,8 @@ func MeasureBenchBaseline(reference bool) (*BenchBaseline, error) {
 //
 //   - SVC-warm: latency of one min-makespan query against a warmed
 //     solver — the steady-state cost a caller pays once the service
-//     holds the platform's plans (HTTP round trip + memoized solve);
+//     holds the platform's plans (HTTP round trip plus, since the
+//     result memo, an O(1) lookup: exact scalar repeats never re-solve);
 //   - SVC-coalesce: per-request latency when svcFanIn concurrent
 //     identical queries hit the service at once, which exercises the
 //     singleflight path under contention.

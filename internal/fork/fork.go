@@ -54,27 +54,27 @@ func (a *Allocation) Len() int { return len(a.Slaves) }
 // Proc) order and kept whenever the decreasing-processing-time packing
 // remains feasible. The input slice is not modified.
 //
-// Feasibility of each trial insertion is decided in O(1) from
-// incremental state instead of re-checking every prefix: inserting a
-// candidate at position pos leaves earlier sends untouched (feasible by
-// invariant), adds the candidate's own prefix constraint, and delays
-// every later send by exactly the candidate's communication time — so
-// the insertion is feasible iff the candidate completes by the deadline
-// and the minimum slack over the displaced suffix absorbs the delay.
-// This drops the packing from O(m·n) slice copies to O(m·log n)
-// rejections plus O(n) state rebuilds per acceptance, which matters to
-// the spider solver's deadline binary search where Pack dominates.
+// Each candidate costs O(log n): the admitted set lives in a balanced
+// tree (Packer) whose per-subtree aggregates answer both feasibility
+// conditions — the candidate's own prefix constraint and the minimum
+// slack over the displaced suffix — during one root-to-leaf descent,
+// and admission is a treap insertion. PackSorted keeps the slice-based
+// implementation (O(n) state rebuild per acceptance) as the reference
+// the equivalence tests compare against.
 func Pack(vs []platform.VirtualSlave, n int, deadline platform.Time) (*Allocation, error) {
 	order := append([]platform.VirtualSlave(nil), vs...)
 	platform.SortVirtualSlaves(order)
-	return PackSorted(order, n, deadline)
+	return PackTree(order, n, deadline)
 }
 
 // PackSorted is Pack for candidates already in admission order
-// (ascending CompareVirtualSlaves). Callers that can produce the order
-// structurally — the spider solver merges per-leg runs that are sorted
-// by construction — skip the O(m log m) sort that otherwise dominates
-// repeated packings. The input slice is not modified.
+// (ascending CompareVirtualSlaves), in its original slice-based form:
+// each acceptance rebuilds the elapsed/minSlack state in O(n). It is
+// kept as the mid-rung of the equivalence ladder — packFeasible is the
+// O(n²) spec, PackSorted the incremental slice packer, Packer/PackTree
+// the O(log n) tree packer riding the hot path — and as the ablation
+// comparator the E5w experiment measures the tree packer against. The
+// input slice is not modified.
 func PackSorted(order []platform.VirtualSlave, n int, deadline platform.Time) (*Allocation, error) {
 	if deadline < 0 {
 		return nil, fmt.Errorf("fork: negative deadline %d", deadline)

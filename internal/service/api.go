@@ -75,7 +75,12 @@ type Meta struct {
 	// Coalesced is true when this request did not solve anything: it
 	// joined an identical in-flight query and shares its result.
 	Coalesced bool `json:"coalesced"`
-	// SolveNs is the wall time of the solve this response came from.
+	// Memo is true when the scalar result came from the warmed solver's
+	// query memo — an exact repeat answered without re-running the
+	// solver at all.
+	Memo bool `json:"memo,omitempty"`
+	// SolveNs is the wall time of the solve this response came from; 0
+	// for memo hits.
 	SolveNs int64 `json:"solve_ns"`
 }
 
@@ -104,6 +109,9 @@ type Stats struct {
 	// Coalesced counts queries that joined an identical in-flight
 	// query instead of solving.
 	Coalesced uint64 `json:"coalesced"`
+	// MemoHits counts scalar queries answered from a warmed solver's
+	// result memo — exact repeats that skipped the solve entirely.
+	MemoHits uint64 `json:"memo_hits"`
 	// Constructions counts actual solver builds; concurrent misses on
 	// one platform still construct once.
 	Constructions uint64 `json:"constructions"`

@@ -123,12 +123,51 @@ type construction struct {
 // entry is one warmed solver. Exactly one of inc (chains) and solver
 // (spiders and forks, in first-seen leg order) is set, matching the
 // cache key's kind; neither is safe for concurrent use, so answers
-// serialise on mu.
+// serialise on mu. memo caches the scalar result of every query already
+// answered by this solver, so an exact repeat skips even the warm
+// binary search.
 type entry struct {
 	key    ckey
 	mu     sync.Mutex
 	inc    *core.Incremental
 	solver *spider.Solver
+	memo   map[memoKey]memoVal
+}
+
+// memoKey identifies one scalar query against a warmed solver. The
+// deadline is normalised to 0 for ops that ignore it, so min-makespan
+// repeats memo-hit whatever junk deadline the request carried.
+type memoKey struct {
+	op       Op
+	n        int
+	deadline platform.Time
+}
+
+// memoVal is the memoised scalar answer. Schedules are never memoised —
+// they are large, leg-order-specific, and the warm solve that produces
+// them is already the cheap path — so a memo entry fully determines the
+// scalar response.
+type memoVal struct {
+	tasks    int
+	makespan platform.Time
+}
+
+// memoCap bounds one entry's memo. On overflow the memo is reset rather
+// than evicted piecewise: repeats dominate real traffic far below the
+// cap, and a reset only costs re-solving warm queries once.
+const memoCap = 1 << 12
+
+// memoKeyFor returns the memo key for the query and whether the query
+// is memoisable (scalar-only responses of any op).
+func memoKeyFor(q *query) (memoKey, bool) {
+	if q.req.IncludeSchedule {
+		return memoKey{}, false
+	}
+	k := memoKey{op: q.req.Op, n: q.req.N}
+	if q.req.Op.needsDeadline() {
+		k.deadline = q.req.Deadline
+	}
+	return k, true
 }
 
 // query is a parsed, validated request.
@@ -273,21 +312,49 @@ func (s *Service) solveLeading(q *query) (*Response, error) {
 	// Entry mutex BEFORE the worker slot: same-entry queries serialise
 	// on e.mu anyway, and taking a slot first would let them pin every
 	// slot while waiting their turn, starving other platforms. No
-	// deadlock: sem holders never wait on an entry mutex.
+	// deadlock: sem holders never wait on an entry mutex. An exact
+	// repeat of a scalar query resolves from the memo inside the entry
+	// mutex alone — no worker slot, no solve.
 	var solveNs int64
+	memoK, memoable := memoKeyFor(q)
+	memoHit := false
 	sol, err := func() (*solved, error) {
 		e.mu.Lock()
 		defer e.mu.Unlock()
+		if memoable {
+			if v, ok := e.memo[memoK]; ok {
+				memoHit = true
+				return &solved{tasks: v.tasks, makespan: v.makespan}, nil
+			}
+		}
 		s.sem <- struct{}{}
 		defer func() { <-s.sem }()
 		start := time.Now()
 		defer func() { solveNs = time.Since(start).Nanoseconds() }()
-		return e.answer(q)
+		sol, err := e.answer(q)
+		if err == nil && memoable {
+			if e.memo == nil {
+				e.memo = make(map[memoKey]memoVal)
+			} else if len(e.memo) >= memoCap {
+				clear(e.memo)
+			}
+			e.memo[memoK] = memoVal{tasks: sol.tasks, makespan: sol.makespan}
+		}
+		return sol, err
 	}()
 	if err != nil {
 		return nil, err
 	}
-	return s.respond(q, sol, cache, solveNs)
+	if memoHit {
+		s.mu.Lock()
+		s.stats.MemoHits++
+		s.mu.Unlock()
+	}
+	resp, err := s.respond(q, sol, cache, solveNs)
+	if err == nil {
+		resp.Meta.Memo = memoHit
+	}
+	return resp, err
 }
 
 // construct builds the warmed solver for the query's platform under a

@@ -527,3 +527,86 @@ func TestConcurrentMixedTraffic(t *testing.T) {
 		t.Errorf("post-storm makespan %d, want %d", resp.Makespan, wantMk)
 	}
 }
+
+// TestMemoExactRepeat is the result-memo contract: an exact repeat of a
+// scalar query answers from the warmed solver's memo — Meta.Memo set,
+// memo_hits counted, no solve — while schedule-carrying queries and
+// distinct (op, n, deadline) cells never ride it.
+func TestMemoExactRepeat(t *testing.T) {
+	sp := testSpider()
+	n := 18
+	svc := New(Config{})
+
+	first, err := svc.Solve(mustSpiderRequest(t, sp, OpMinMakespan, n, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Meta.Memo {
+		t.Error("cold query claims a memo hit")
+	}
+	repeat, err := svc.Solve(mustSpiderRequest(t, sp, OpMinMakespan, n, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !repeat.Meta.Memo {
+		t.Error("exact scalar repeat missed the memo")
+	}
+	if repeat.Meta.SolveNs != 0 {
+		t.Errorf("memo hit reports solve time %dns, want 0", repeat.Meta.SolveNs)
+	}
+	wantMk, _, err := spider.MinMakespan(sp, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repeat.Makespan != wantMk || repeat.Tasks != n {
+		t.Errorf("memoed answer (mk=%d tasks=%d) != direct solve (mk=%d tasks=%d)",
+			repeat.Makespan, repeat.Tasks, wantMk, n)
+	}
+	if st := svc.Stats(); st.MemoHits != 1 {
+		t.Errorf("memo_hits = %d, want 1", st.MemoHits)
+	}
+
+	// min_makespan ignores the deadline, so the memo key must too.
+	junk, err := svc.Solve(mustSpiderRequest(t, sp, OpMinMakespan, n, 999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !junk.Meta.Memo {
+		t.Error("min_makespan with a junk deadline missed the memo")
+	}
+
+	// A schedule-carrying repeat must run the real solve and still
+	// return the full schedule.
+	withSched := mustSpiderRequest(t, sp, OpMinMakespan, n, 0)
+	withSched.IncludeSchedule = true
+	full, err := svc.Solve(withSched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Meta.Memo {
+		t.Error("schedule-carrying query rode the scalar memo")
+	}
+	if _, err := full.DecodeSchedule(); err != nil {
+		t.Errorf("schedule-carrying repeat lost its schedule: %v", err)
+	}
+
+	// Deadline-bearing ops memo per deadline.
+	before := svc.Stats().MemoHits
+	if _, err := svc.Solve(mustSpiderRequest(t, sp, OpMaxTasks, n, 40)); err != nil {
+		t.Fatal(err)
+	}
+	hit, err := svc.Solve(mustSpiderRequest(t, sp, OpMaxTasks, n, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss, err := svc.Solve(mustSpiderRequest(t, sp, OpMaxTasks, n, 41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Meta.Memo || miss.Meta.Memo {
+		t.Errorf("max_tasks memo: repeat=%v shifted-deadline=%v, want hit then miss", hit.Meta.Memo, miss.Meta.Memo)
+	}
+	if st := svc.Stats(); st.MemoHits != before+1 {
+		t.Errorf("memo_hits = %d, want %d (only the max_tasks repeat since the snapshot)", st.MemoHits, before+1)
+	}
+}

@@ -59,7 +59,12 @@ func ReferenceScheduleWithin(sp platform.Spider, n int, deadline platform.Time) 
 	if err != nil {
 		return nil, err
 	}
-	alloc, err := fork.Pack(virt, n, deadline)
+	// Pack via the slice-based packer, NOT fork.Pack: the reference path
+	// must stay off the tree packer so the fast-vs-reference equivalence
+	// tests anchor the production packing to an independent
+	// implementation of the greedy.
+	platform.SortVirtualSlaves(virt)
+	alloc, err := fork.PackSorted(virt, n, deadline)
 	if err != nil {
 		return nil, err
 	}

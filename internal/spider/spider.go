@@ -86,9 +86,14 @@ func (lp *legPlan) task(k, i int, deadline platform.Time) sched.ChainTask {
 type Solver struct {
 	sp   platform.Spider
 	legs []*legPlan
-	vbuf []platform.VirtualSlave // reused probe scratch, admission order
+	vbuf []platform.VirtualSlave // slice-packing probe scratch, admission order
 	kbuf []int                   // reused per-leg fit counts
 	cbuf []legCursor             // reused merge heap
+
+	// slicePack routes probes through the materialised vbuf +
+	// fork.PackSorted path instead of streaming the merge into the tree
+	// packer; see SetSlicePacking.
+	slicePack bool
 
 	// prepared high-water marks: fit(n, deadline) needs no growth when
 	// both are dominated, so warm probes skip the worker pool entirely.
@@ -176,23 +181,40 @@ func (c *legCursor) load() {
 	}
 }
 
-// counts returns the per-leg fit counts for the deadline and rebuilds
-// the probe's virtual-slave scratch in admission order by a k-way merge
-// of the per-leg runs — the multiset is exactly what the reference path
-// feeds the packing, already sorted, so PackSorted can skip its
-// O(m log m) sort.
-func (s *Solver) counts(n int, deadline platform.Time) []int {
+// SetSlicePacking routes every subsequent probe through the legacy
+// materialise-and-PackSorted path — the full k-way merged virtual-slave
+// slice is rebuilt per probe and packed by the slice-based packer —
+// instead of streaming the merge into the balanced-tree packer. The two
+// paths produce identical schedules (the equivalence tests assert it);
+// the knob exists for that assertion and for the E5w ablation that
+// measures what the streaming tree packer buys on wide platforms.
+func (s *Solver) SetSlicePacking(on bool) { s.slicePack = on }
+
+// legCounts fills the per-leg fit counts for the deadline and returns
+// them along with their sum (the merged candidate total). The returned
+// slice is the solver's scratch buffer, valid until the next probe.
+func (s *Solver) legCounts(n int, deadline platform.Time) ([]int, int) {
 	if s.kbuf == nil {
 		s.kbuf = make([]int, len(s.legs))
 	}
-	ks := s.kbuf
-	s.vbuf = s.vbuf[:0]
-	s.cbuf = s.cbuf[:0]
+	ks, total := s.kbuf, 0
 	for b, lp := range s.legs {
-		k := lp.fit(n, deadline)
-		ks[b] = k
+		ks[b] = lp.fit(n, deadline)
+		total += ks[b]
+	}
+	return ks, total
+}
+
+// merge streams the per-leg candidate runs in admission order into
+// emit, stopping early when emit returns false — the k-way merge of the
+// reference path's sorted multiset, produced lazily so consumers that
+// terminate early (the tree packer once n tasks are admitted) never pay
+// for the tail. ks are the per-leg run lengths from legCounts.
+func (s *Solver) merge(ks []int, emit func(platform.VirtualSlave) bool) {
+	s.cbuf = s.cbuf[:0]
+	for b, k := range ks {
 		if k > 0 {
-			c := legCursor{lp: lp, leg: b, k: k}
+			c := legCursor{lp: s.legs[b], leg: b, k: k}
 			c.load()
 			s.cbuf = append(s.cbuf, c)
 		}
@@ -203,7 +225,9 @@ func (s *Solver) counts(n int, deadline platform.Time) []int {
 		siftDown(h, i)
 	}
 	for len(h) > 0 {
-		s.vbuf = append(s.vbuf, h[0].cur)
+		if !emit(h[0].cur) {
+			return
+		}
 		if h[0].j++; h[0].j < h[0].k {
 			h[0].load()
 		} else {
@@ -212,7 +236,58 @@ func (s *Solver) counts(n int, deadline platform.Time) []int {
 		}
 		siftDown(h, 0)
 	}
-	return ks
+}
+
+// packProbe runs one deadline probe's fork packing over the merged
+// per-leg runs and returns the packer holding the admitted set. On the
+// default streaming path candidates feed the balanced-tree packer
+// directly and the merge stops as soon as n tasks are admitted; with
+// SetSlicePacking the full slice is materialised and packed by
+// fork.PackSorted for comparison.
+func (s *Solver) packProbe(n int, deadline platform.Time, ks []int) (*fork.Packer, *fork.Allocation, error) {
+	if s.slicePack {
+		s.vbuf = s.vbuf[:0]
+		s.merge(ks, func(v platform.VirtualSlave) bool {
+			s.vbuf = append(s.vbuf, v)
+			return true
+		})
+		alloc, err := fork.PackSorted(s.vbuf, n, deadline)
+		return nil, alloc, err
+	}
+	p, err := fork.NewPacker(n, deadline)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.merge(ks, func(v platform.VirtualSlave) bool {
+		p.Offer(v)
+		return !p.Full()
+	})
+	return p, nil, nil
+}
+
+// probeCount is packProbe returning only the number of admitted tasks,
+// skipping allocation materialisation on the streaming path.
+func (s *Solver) probeCount(n int, deadline platform.Time, ks []int) (int, error) {
+	p, alloc, err := s.packProbe(n, deadline, ks)
+	if err != nil {
+		return 0, err
+	}
+	if p != nil {
+		return p.Len(), nil
+	}
+	return alloc.Len(), nil
+}
+
+// probeAlloc is packProbe returning the materialised allocation.
+func (s *Solver) probeAlloc(n int, deadline platform.Time, ks []int) (*fork.Allocation, error) {
+	p, alloc, err := s.packProbe(n, deadline, ks)
+	if err != nil {
+		return nil, err
+	}
+	if p != nil {
+		return p.Allocation(), nil
+	}
+	return alloc, nil
 }
 
 func siftDown(h []legCursor, i int) {
@@ -243,29 +318,21 @@ func (s *Solver) MaxTasks(n int, deadline platform.Time) (int, error) {
 		return 0, fmt.Errorf("spider: negative deadline %d", deadline)
 	}
 	s.prepare(n, deadline)
-	s.counts(n, deadline)
-	alloc, err := fork.PackSorted(s.vbuf, n, deadline)
-	if err != nil {
-		return 0, err
-	}
-	return alloc.Len(), nil
+	ks, _ := s.legCounts(n, deadline)
+	return s.probeCount(n, deadline, ks)
 }
 
 // fits reports whether all n tasks complete within the deadline; the
 // binary-search probe of MinMakespan. When the per-leg fit counts sum
 // below n the packing cannot reach n either (it admits a subset), so
-// the merge and packing are skipped outright.
+// the merge and packing are skipped outright; otherwise the counts
+// already computed feed the packing directly instead of being rescanned.
 func (s *Solver) fits(n int, deadline platform.Time) (bool, error) {
-	var total int
-	for _, lp := range s.legs {
-		if total += lp.fit(n, deadline); total >= n {
-			break
-		}
-	}
+	ks, total := s.legCounts(n, deadline)
 	if total < n {
 		return false, nil
 	}
-	m, err := s.MaxTasks(n, deadline)
+	m, err := s.probeCount(n, deadline, ks)
 	return m == n, err
 }
 
@@ -279,8 +346,8 @@ func (s *Solver) ScheduleWithin(n int, deadline platform.Time) (*sched.SpiderSch
 		return nil, fmt.Errorf("spider: negative deadline %d", deadline)
 	}
 	s.prepare(n, deadline)
-	ks := s.counts(n, deadline)
-	alloc, err := fork.PackSorted(s.vbuf, n, deadline)
+	ks, _ := s.legCounts(n, deadline)
+	alloc, err := s.probeAlloc(n, deadline, ks)
 	if err != nil {
 		return nil, err
 	}
