@@ -7,15 +7,17 @@
 //	msbench -run E1,E4      # selected experiments
 //	msbench -list           # list experiments
 //	msbench -csv dir/       # also dump each table as CSV under dir/
-//	msbench -json file      # dump the E5/E5c/E5w regression baseline as JSON
+//	msbench -json file      # dump the E5/E5c/E5w/E5p regression baseline as JSON
 //	msbench -cpuprofile f   # profile the run's CPU (any mode)
 //	msbench -memprofile f   # dump a heap profile at exit (any mode)
 //
 // The -json dump measures the hot-path families (chain and spider
-// solvers) with a calibration workload and writes a machine-portable
-// baseline; the committed BENCH_seed.json froze the seed-era numbers
-// (add -reference to reproduce that mode) and the regression test in
-// this package flags >20% slowdowns against it.
+// solvers, the wide-platform packing and the warm probe loop) with a
+// calibration workload and writes a machine-portable baseline; the
+// committed BENCH_seed.json froze the pre-optimisation numbers (add
+// -reference to reproduce that mode) and the regression test in this
+// package flags >20% slowdowns against it. Spider-family points carry
+// probes_per_solve — the deadline-search telemetry of one cold solve.
 package main
 
 import (
@@ -45,8 +47,8 @@ func run(args []string, out io.Writer) error {
 		list       = fs.Bool("list", false, "list experiments and exit")
 		runIDs     = fs.String("run", "", "comma-separated experiment IDs (default: all)")
 		csvDir     = fs.String("csv", "", "also write each table as CSV under this directory")
-		jsonPath   = fs.String("json", "", "measure the E5/E5c regression families and write the baseline JSON here")
-		refSolve   = fs.Bool("reference", false, "with -json: measure the spider family with the unmemoized reference solver and the wide family with the slice-based packer")
+		jsonPath   = fs.String("json", "", "measure the E5/E5c/E5w/E5p regression families and write the baseline JSON here")
+		refSolve   = fs.Bool("reference", false, "with -json: measure the spider family with the unmemoized reference solver, the wide family with the slice-based packer and the probe loop with from-scratch probing")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile (taken at exit, after a GC) to this file")
 	)

@@ -25,11 +25,16 @@ import (
 // scale by a calibration workload measured in both runs, so a baseline
 // recorded on one machine still yields meaningful ratios on another.
 
-// BenchPoint is one measured (family, size) cell.
+// BenchPoint is one measured (family, size) cell. ProbesPerSolve, where
+// present, is the solver's packing-probe telemetry for one cold
+// min-makespan solve of the cell — the deadline-search work the
+// two-sided seeding exists to shrink; the regression comparison ignores
+// it (it is machine-independent context, not a timing).
 type BenchPoint struct {
-	Family  string `json:"family"`
-	Size    int    `json:"size"`
-	NsPerOp int64  `json:"ns_per_op"`
+	Family         string `json:"family"`
+	Size           int    `json:"size"`
+	NsPerOp        int64  `json:"ns_per_op"`
+	ProbesPerSolve int64  `json:"probes_per_solve,omitempty"`
 }
 
 // BenchBaseline is a dump of the regression families plus a calibration
@@ -82,13 +87,20 @@ func calibrate() (int64, error) {
 // coalesced-throughput cell. wideLegs/wideSizes are the E5w-wide cells:
 // min-makespan on a spider with hundreds of legs, where the packing
 // inner loop dominates and the streaming tree packer earns its keep.
+// probeLoopLegs/probeLoopN are the E5p-loop cells: the warm probe loop
+// (a binary-search deadline walk against a warmed solver) at two widths,
+// keyed by leg count — the workload the probe-persistent packer and
+// tournament merge amortise, guarded against the from-scratch path the
+// -reference dump measures.
 var (
-	chainSizes  = []int{512, 2048}
-	spiderSizes = []int{32, 128, 512}
-	svcSizes    = []int{128, 512}
-	svcFanIn    = 32
-	wideLegs    = 256
-	wideSizes   = []int{512, 1024}
+	chainSizes    = []int{512, 2048}
+	spiderSizes   = []int{32, 128, 512}
+	svcSizes      = []int{128, 512}
+	svcFanIn      = 32
+	wideLegs      = 256
+	wideSizes     = []int{512, 1024}
+	probeLoopLegs = []int{256, 1024}
+	probeLoopN    = 512
 )
 
 // MeasureBenchBaseline measures the E5/E5c families. With reference
@@ -99,9 +111,9 @@ func MeasureBenchBaseline(reference bool) (*BenchBaseline, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := &BenchBaseline{Note: "fast solver (streaming tree packer)", CalibrationNs: calBefore}
+	b := &BenchBaseline{Note: "fast solver (probe-persistent packer + tournament merge)", CalibrationNs: calBefore}
 	if reference {
-		b.Note = "reference solvers (E5c via spider.ReferenceMinMakespan; E5w-wide via the slice-based packer)"
+		b.Note = "reference solvers (E5c via spider.ReferenceMinMakespan; E5w-wide via the slice-based packer; E5p-loop via from-scratch probing)"
 	}
 
 	g := platform.MustGenerator(2024, 1, 9, platform.Uniform)
@@ -119,8 +131,14 @@ func MeasureBenchBaseline(reference bool) (*BenchBaseline, error) {
 
 	sp := g.Spider(4, 3)
 	for _, n := range spiderSizes {
+		var probes int64
 		solve := func() error {
-			_, _, err := spider.MinMakespan(sp, n)
+			s, err := spider.NewSolver(sp)
+			if err != nil {
+				return err
+			}
+			_, _, err = s.MinMakespan(n)
+			probes = int64(s.Stats().PackProbes)
 			return err
 		}
 		if reference {
@@ -133,7 +151,7 @@ func MeasureBenchBaseline(reference bool) (*BenchBaseline, error) {
 		if err != nil {
 			return nil, err
 		}
-		b.Points = append(b.Points, BenchPoint{Family: "E5c-spider", Size: n, NsPerOp: d.Nanoseconds()})
+		b.Points = append(b.Points, BenchPoint{Family: "E5c-spider", Size: n, NsPerOp: d.Nanoseconds(), ProbesPerSolve: probes})
 	}
 	// E5w-wide: the wide-platform family of the E5w experiment. In
 	// reference mode the probes run the legacy slice-based packer — the
@@ -141,18 +159,51 @@ func MeasureBenchBaseline(reference bool) (*BenchBaseline, error) {
 	// streaming tree packer is guarded against.
 	wide := wideSpider(wideLegs)
 	for _, n := range wideSizes {
+		var probes int64
 		d, err := minTime(benchReps, func() error {
 			s, err := newWideSolver(wide, reference)
 			if err != nil {
 				return err
 			}
 			_, _, err = s.MinMakespan(n)
+			probes = int64(s.Stats().PackProbes)
 			return err
 		})
 		if err != nil {
 			return nil, err
 		}
-		b.Points = append(b.Points, BenchPoint{Family: "E5w-wide", Size: n, NsPerOp: d.Nanoseconds()})
+		b.Points = append(b.Points, BenchPoint{Family: "E5w-wide", Size: n, NsPerOp: d.Nanoseconds(), ProbesPerSolve: probes})
+	}
+	// E5p-loop: the warm probe loop. In reference mode the probes run
+	// from scratch — the pre-persistence implementation — freezing the
+	// comparison point the probe-persistent packer is guarded against.
+	for _, legs := range probeLoopLegs {
+		s, err := newProbeSolver(wideSpider(legs), reference)
+		if err != nil {
+			return nil, err
+		}
+		mk, _, err := s.MinMakespan(probeLoopN)
+		if err != nil {
+			return nil, err
+		}
+		probes := int64(s.Stats().PackProbes)
+		walk := probeWalk(mk)
+		d, err := minTime(benchReps, func() error {
+			for _, dl := range walk {
+				if _, err := s.MaxTasks(probeLoopN, dl); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		b.Points = append(b.Points, BenchPoint{
+			Family: "E5p-loop", Size: legs,
+			NsPerOp:        d.Nanoseconds() / int64(len(walk)),
+			ProbesPerSolve: probes,
+		})
 	}
 	if err := measureServiceFamilies(b, sp); err != nil {
 		return nil, err

@@ -1,0 +1,308 @@
+package fork
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+)
+
+// ProbePacker is the probe-persistent packer: a Packer that survives
+// across the deadline probes of a binary search instead of being rebuilt
+// from scratch at every probe.
+//
+// The greedy admission of [2] scans candidates in a fixed order and
+// decides each one from the decisions before it. Given that prefix, the
+// decision for one candidate is monotone in the deadline with an exact
+// hinge — Packer.critical — that does not depend on the deadline at all.
+// The ProbePacker therefore records, per offered candidate, its critical
+// deadline. When the next probe arrives, the decisions of the recorded
+// run stay valid up to the first divergence:
+//
+//   - the first candidate whose critical deadline lies between the old
+//     and new probe deadlines (its decision flips), or
+//   - the first position where the candidate stream itself changes
+//     (callers report the earliest differing candidate: per-origin runs
+//     grow and shrink monotonically with the deadline).
+//
+// Everything before that point is provably identical to a from-scratch
+// run at the new deadline, so Rewind keeps it: the treap is rolled back
+// to the retained admissions and only the suffix is re-offered. A probe
+// whose recorded decisions all survive costs a single scan with one
+// comparison per logged candidate — no merge, no treap work at all.
+//
+// The equivalence ladder (packFeasible spec → PackSorted → Packer →
+// ProbePacker) is extended by property and fuzz tests asserting the
+// persistent packer admits the identical set with identical emission
+// starts at every probe of recorded deadline walks.
+type ProbePacker struct {
+	pk    Packer
+	log   []probeEntry
+	logD  platform.Time // deadline the recorded decisions were taken at
+	valid bool
+
+	// Rewound decision tail: the recorded decisions past the divergence
+	// point. They are no longer trusted, but they are not worthless —
+	// Offer merge-joins the resumed stream against them, and a recorded
+	// rejection whose critical deadline already exceeds the new deadline
+	// is re-rejected with one comparison instead of a treap descent (see
+	// Offer for the monotonicity argument and the superset guard).
+	tail     []probeEntry
+	tailPos  int
+	tailD    platform.Time // deadline the tail's decisions were taken at
+	tailFull bool          // the recorded run stopped on a filled budget
+	superset bool          // admitted-so-far ⊇ the tail's admitted-so-far
+	subset   bool          // admitted-so-far ⊆ the tail's admitted-so-far
+}
+
+// probeEntry is one recorded admission decision: the candidate and the
+// smallest deadline admitting it given the decisions before it.
+//
+// Invariant: a rejected entry (dcrit > logD) may carry a lower bound on
+// its true critical deadline, an admitted entry (dcrit ≤ logD) an upper
+// bound — stale values kept by the skips in offerTailEntry. Both read
+// out the correct decision at logD, and both err only toward detecting
+// spurious flips in Rewind's scan, which re-evaluates the entry with a
+// real descent: a lower bound above d still proves rejection, an upper
+// bound at most d still proves admission.
+type probeEntry struct {
+	v     platform.VirtualSlave
+	dcrit platform.Time
+}
+
+// NewProbePacker returns an empty persistent packer; the first Rewind
+// establishes the budget and deadline.
+func NewProbePacker() *ProbePacker {
+	pp := &ProbePacker{}
+	pp.pk.root = -1
+	pp.pk.rng = prioGamma
+	return pp
+}
+
+// Recorded returns the task budget of the recorded run and whether a
+// recorded run exists at all.
+func (pp *ProbePacker) Recorded() (n int, ok bool) { return pp.pk.n, pp.valid }
+
+// Rewind prepares the packer for a probe with task budget n at the
+// given deadline. change is the earliest candidate, in admission order,
+// at which the new candidate stream differs from the recorded one (nil
+// when the streams are identical); it is ignored when no recorded run
+// matches and the packer resets. consumed must hold one slot per origin
+// leg; Rewind zeroes it and counts the retained candidates per leg, so
+// the caller can position its merge cursors to resume the stream.
+//
+// The return values: done means the recorded decisions fully answer the
+// probe and no candidates need to be offered; retained is the number of
+// recorded decisions kept (0 after a reset).
+func (pp *ProbePacker) Rewind(n int, deadline platform.Time, change *platform.VirtualSlave, consumed []int) (done bool, retained int, err error) {
+	if deadline < 0 {
+		return false, 0, fmt.Errorf("fork: negative deadline %d", deadline)
+	}
+	if n < 0 {
+		return false, 0, fmt.Errorf("fork: negative task count %d", n)
+	}
+	for i := range consumed {
+		consumed[i] = 0
+	}
+	pp.tail, pp.tailPos = pp.tail[:0], 0
+	pp.superset, pp.subset = true, true
+	pp.tailFull = pp.valid && pp.pk.Full()
+	if !pp.valid || n != pp.pk.n {
+		if err := pp.pk.Reset(n, deadline); err != nil {
+			return false, 0, err
+		}
+		pp.log = pp.log[:0]
+		pp.logD = deadline
+		pp.valid = true
+		return false, 0, nil
+	}
+	// Scan for the first divergence, counting retained admissions (for
+	// the treap rollback) and retained candidates per leg (for cursor
+	// repositioning). Entries before it decide identically at the new
+	// deadline, by induction over the scan order.
+	oldD := pp.logD
+	div, adm := len(pp.log), 0
+	for i := range pp.log {
+		e := &pp.log[i]
+		if change != nil && platform.CompareVirtualSlaves(*change, e.v) <= 0 {
+			div = i
+			break
+		}
+		admitted := oldD >= e.dcrit
+		if admitted != (deadline >= e.dcrit) {
+			div = i
+			break
+		}
+		if admitted {
+			adm++
+		}
+		consumed[e.v.Leg]++
+	}
+	// Subtree aggregates never mention the deadline, so retargeting the
+	// packer is a plain assignment.
+	pp.pk.deadline = deadline
+	pp.logD = deadline
+	if div == len(pp.log) {
+		// Every recorded decision survives. If the recorded run stopped
+		// because the budget filled, the re-run would stop at the same
+		// candidate; if the stream is unchanged, it would end the same
+		// way too. Only a stream change past the log's end needs more
+		// candidates.
+		if pp.pk.Full() || change == nil {
+			return true, len(pp.log), nil
+		}
+		return false, len(pp.log), nil
+	}
+	pp.pk.rollback(adm)
+	// The rewound decisions become the merge-join tail for Offer; their
+	// decisions were taken at the old deadline.
+	pp.tail = append(pp.tail[:0], pp.log[div:]...)
+	pp.tailD = oldD
+	pp.log = pp.log[:div]
+	return false, div, nil
+}
+
+// TailWasFull reports whether the recorded run behind the rewound tail
+// stopped because its budget filled — in which case the recorded
+// decisions end mid-stream and the caller's merge must take over once
+// the tail is exhausted. When false, the tail reaches to the end of the
+// recorded stream.
+func (pp *ProbePacker) TailWasFull() bool { return pp.tailFull }
+
+// TailPeek returns the next rewound tail decision's candidate, if any.
+// Callers join the resumed stream against it: a tail candidate still in
+// the stream goes through TailReplay, a vanished one (its leg's run
+// shrank below its rank) through TailDrop, and stream candidates that
+// sort before it — new candidates from grown runs — through Offer.
+func (pp *ProbePacker) TailPeek() (platform.VirtualSlave, bool) {
+	if pp.tailPos < len(pp.tail) {
+		return pp.tail[pp.tailPos].v, true
+	}
+	return platform.VirtualSlave{}, false
+}
+
+// TailReplay re-decides the next tail entry (which the caller asserts
+// is still in the stream) and reports whether it was admitted.
+func (pp *ProbePacker) TailReplay() bool {
+	e := &pp.tail[pp.tailPos]
+	pp.tailPos++
+	return pp.offerTailEntry(e)
+}
+
+// TailDrop discards the next tail entry as vanished from the stream.
+func (pp *ProbePacker) TailDrop() {
+	e := &pp.tail[pp.tailPos]
+	pp.tailPos++
+	if e.dcrit <= pp.tailD {
+		// A recorded admission is gone: superset lost.
+		pp.superset = false
+	}
+}
+
+// offerTailEntry re-decides one stream-valid tail entry, dodging the
+// treap whenever a recorded bound already settles it:
+//
+//   - a recorded rejection whose critical deadline exceeds the new
+//     deadline stays rejected while no recorded admission has been
+//     lost (superset): admissions can only have been added, and adding
+//     admissions only raises critical deadlines, so the recorded value
+//     is a valid lower bound;
+//   - dually, a recorded admission whose critical deadline is within
+//     the new deadline stays admitted while no admission has been
+//     gained (subset): the recorded value is a valid upper bound, and
+//     the node is inserted without re-deriving its feasibility.
+//
+// Everything else pays a full descent, which also maintains the flags:
+// the first lost admission clears superset, the first gained one
+// clears subset.
+func (pp *ProbePacker) offerTailEntry(e *probeEntry) bool {
+	d := pp.pk.deadline
+	if e.dcrit > pp.tailD {
+		if pp.superset && e.dcrit > d {
+			pp.log = append(pp.log, *e)
+			return false
+		}
+	} else if pp.subset && e.dcrit <= d {
+		pp.log = append(pp.log, *e)
+		pp.pk.insertCand(e.v)
+		return true
+	}
+	crit := pp.pk.critical(e.v)
+	pp.log = append(pp.log, probeEntry{v: e.v, dcrit: crit})
+	if d >= crit {
+		pp.pk.insertCand(e.v)
+		if e.dcrit > pp.tailD {
+			pp.subset = false
+		}
+		return true
+	}
+	if e.dcrit <= pp.tailD {
+		pp.superset = false
+	}
+	return false
+}
+
+// Offer runs the greedy admission on one candidate at the rewound
+// deadline, recording the decision's critical deadline for the next
+// probe, and reports whether the candidate was admitted. Candidates
+// must arrive in admission order, resuming exactly where the retained
+// prefix left off (the consumed counts from Rewind, advanced by any
+// ReplayTail).
+//
+// Offer merge-joins the stream against the rewound decision tail to
+// dodge most treap descents. A candidate's critical deadline is
+// monotone in the admitted set before it (both its elapsed-before sum
+// and its displaced-suffix maximum only grow when admissions are
+// added), so while the resumed decisions have only gained admissions
+// relative to the tail's (the superset flag), a tail rejection's
+// recorded critical deadline is a valid lower bound — if it already
+// exceeds the new deadline, the candidate is re-rejected without
+// touching the treap, and the lower bound is carried forward (see the
+// probeEntry invariant). The first admission lost relative to the tail
+// clears the flag and every later candidate pays the full descent.
+func (pp *ProbePacker) Offer(v platform.VirtualSlave) bool {
+	if pp.pk.Full() {
+		return false
+	}
+	d := pp.pk.deadline
+	for pp.tailPos < len(pp.tail) {
+		e := &pp.tail[pp.tailPos]
+		c := platform.CompareVirtualSlaves(v, e.v)
+		if c > 0 {
+			// e.v vanished from the stream (its run shrank). Losing a
+			// recorded admission breaks the superset guarantee.
+			if e.dcrit <= pp.tailD {
+				pp.superset = false
+			}
+			pp.tailPos++
+			continue
+		}
+		if c < 0 {
+			// v is new to the stream; the tail resumes at e afterwards.
+			break
+		}
+		pp.tailPos++
+		return pp.offerTailEntry(e)
+	}
+	crit := pp.pk.critical(v)
+	pp.log = append(pp.log, probeEntry{v: v, dcrit: crit})
+	if d >= crit {
+		pp.pk.insertCand(v)
+		// An admission the recorded run did not have: subset lost.
+		pp.subset = false
+		return true
+	}
+	return false
+}
+
+// Len returns the number of admitted virtual slaves.
+func (pp *ProbePacker) Len() int { return pp.pk.Len() }
+
+// Full reports whether the packer has admitted its task budget.
+func (pp *ProbePacker) Full() bool { return pp.pk.Full() }
+
+// Deadline returns the deadline of the current (last rewound) probe.
+func (pp *ProbePacker) Deadline() platform.Time { return pp.pk.Deadline() }
+
+// Allocation materialises the admitted set in emission order, exactly
+// as Packer.Allocation does.
+func (pp *ProbePacker) Allocation() *Allocation { return pp.pk.Allocation() }

@@ -38,7 +38,14 @@ type Packer struct {
 	nodes    []treeNode
 	root     int32
 	rng      uint64
+	vscratch []platform.VirtualSlave // rollback rebuild buffer
 }
+
+// prioGamma is the splitmix64 increment seeding the treap priorities.
+// The priority of the i-th admitted node is a pure function of i, so any
+// sequence of admissions and rollbacks that ends with the same admitted
+// prefix ends with the identical treap.
+const prioGamma = 0x9e3779b97f4a7c15
 
 // treeNode is one admitted virtual slave in the treap. Children are
 // indices into Packer.nodes (−1 for none): index-based storage keeps the
@@ -61,7 +68,20 @@ func NewPacker(n int, deadline platform.Time) (*Packer, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("fork: negative task count %d", n)
 	}
-	return &Packer{deadline: deadline, n: n, root: -1, rng: 0x9e3779b97f4a7c15}, nil
+	return &Packer{deadline: deadline, n: n, root: -1, rng: prioGamma}, nil
+}
+
+// Reset empties the packer for a new deadline and task budget, keeping
+// the node storage so a solver probing many deadlines allocates once.
+func (p *Packer) Reset(n int, deadline platform.Time) error {
+	if deadline < 0 {
+		return fmt.Errorf("fork: negative deadline %d", deadline)
+	}
+	if n < 0 {
+		return fmt.Errorf("fork: negative task count %d", n)
+	}
+	p.deadline, p.n, p.nodes, p.root, p.rng = deadline, n, p.nodes[:0], -1, prioGamma
+	return nil
 }
 
 // Len returns the number of admitted virtual slaves.
@@ -83,13 +103,39 @@ func (p *Packer) Offer(cand platform.VirtualSlave) bool {
 	if p.Full() {
 		return false
 	}
-	// Descent: find the insertion point (after every node with
-	// Proc ≥ cand.Proc), accumulating the communication elapsed before
-	// it and the minimum absolute slack over the displaced suffix.
-	var (
-		before platform.Time                 // Σ Comm of nodes emitted before cand
-		sufMin platform.Time = math.MaxInt64 // min slack over nodes emitted after
-	)
+	if p.deadline < p.critical(cand) {
+		return false
+	}
+	p.insertCand(cand)
+	return true
+}
+
+// critical returns the smallest deadline that would admit cand against
+// the current admitted set (its admission-order prefix): the maximum of
+// the candidate's own prefix constraint (elapsed communication before it
+// plus its own communication and processing) and the displaced suffix's
+// tightest completion shifted by the candidate's communication time.
+// Both quantities are deadline-independent, so the decision for cand —
+// given this prefix — at any deadline d is exactly d ≥ critical(cand):
+// the hinge the probe-persistent packer's decision log swings on.
+func (p *Packer) critical(cand platform.VirtualSlave) platform.Time {
+	before, tight := p.probe(cand)
+	crit := before + cand.Comm + cand.Proc
+	if tight != math.MinInt64 {
+		if c := tight + cand.Comm; c > crit {
+			crit = c
+		}
+	}
+	return crit
+}
+
+// probe descends to cand's insertion point (after every node with
+// Proc ≥ cand.Proc), accumulating the communication elapsed before it
+// and the maximum elapsed+Proc over the displaced suffix (math.MinInt64
+// when the suffix is empty). The two feasibility conditions of
+// PackSorted are before+Comm+Proc ≤ deadline and deadline−tight ≥ Comm.
+func (p *Packer) probe(cand platform.VirtualSlave) (before, tight platform.Time) {
+	tight = math.MinInt64
 	for id := p.root; id >= 0; {
 		nd := &p.nodes[id]
 		var left platform.Time
@@ -100,12 +146,12 @@ func (p *Packer) Offer(cand platform.VirtualSlave) bool {
 			// cand lands before nd: nd and its right subtree are
 			// displaced by cand.Comm if we admit.
 			upTo := before + left + nd.v.Comm
-			if sl := p.deadline - upTo - nd.v.Proc; sl < sufMin {
-				sufMin = sl
+			if t := upTo + nd.v.Proc; t > tight {
+				tight = t
 			}
 			if nd.right >= 0 {
-				if sl := p.deadline - upTo + p.nodes[nd.right].minRel; sl < sufMin {
-					sufMin = sl
+				if t := upTo - p.nodes[nd.right].minRel; t > tight {
+					tight = t
 				}
 			}
 			id = nd.left
@@ -114,18 +160,14 @@ func (p *Packer) Offer(cand platform.VirtualSlave) bool {
 			id = nd.right
 		}
 	}
-	// The two feasibility conditions of PackSorted, verbatim: the
-	// candidate's own prefix constraint, and the displaced suffix
-	// absorbing the extra delay.
-	if before+cand.Comm+cand.Proc > p.deadline {
-		return false
-	}
-	if sufMin < cand.Comm {
-		return false
-	}
-	// splitmix64 priorities: deterministic per packer, so runs are
-	// reproducible; the admitted set never depends on tree shape.
-	p.rng += 0x9e3779b97f4a7c15
+	return before, tight
+}
+
+// insertCand admits cand unconditionally: callers have already decided.
+func (p *Packer) insertCand(cand platform.VirtualSlave) {
+	// splitmix64 priorities: deterministic per admitted index, so runs
+	// are reproducible — and rollbacks rejoin the exact same stream.
+	p.rng += prioGamma
 	z := p.rng
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
@@ -138,7 +180,6 @@ func (p *Packer) Offer(cand platform.VirtualSlave) bool {
 		minRel:  -cand.Comm - cand.Proc,
 	})
 	p.root = p.insert(p.root, int32(len(p.nodes)-1))
-	return true
 }
 
 // insert places node nid into the subtree rooted at id by the emission
@@ -208,6 +249,84 @@ func (p *Packer) update(id int32) {
 		}
 	}
 	nd.minRel = m
+}
+
+// rollback restores the packer to the state it had after its first t
+// admissions, evicting every node admitted later. Node storage keeps
+// admission order, so the victims are exactly nodes[t:]. It picks the
+// cheaper of two equivalent routes — deleting the suffix out of the
+// treap, or rebuilding the treap from the retained prefix — and rewinds
+// the priority stream so subsequent admissions reproduce exactly the
+// treap a from-scratch run over the same decisions would build.
+func (p *Packer) rollback(t int) {
+	if t < 0 {
+		t = 0
+	}
+	if t >= len(p.nodes) {
+		return
+	}
+	if t <= len(p.nodes)-t {
+		// Rebuild: fewer insertions than evictions. Copy the retained
+		// candidates out first — re-inserting appends over their slots.
+		p.vscratch = p.vscratch[:0]
+		for i := 0; i < t; i++ {
+			p.vscratch = append(p.vscratch, p.nodes[i].v)
+		}
+		p.nodes, p.root, p.rng = p.nodes[:0], -1, prioGamma
+		for _, v := range p.vscratch {
+			p.insertCand(v)
+		}
+		return
+	}
+	for i := len(p.nodes) - 1; i >= t; i-- {
+		p.root = p.removeNode(p.root, int32(i))
+	}
+	p.nodes = p.nodes[:t]
+	p.rng = prioGamma * uint64(t+1)
+}
+
+// nodeBefore reports whether node a precedes node b in emission order:
+// strictly larger Proc, ties broken by earlier admission (smaller index).
+func (p *Packer) nodeBefore(a, b int32) bool {
+	if p.nodes[a].v.Proc != p.nodes[b].v.Proc {
+		return p.nodes[a].v.Proc > p.nodes[b].v.Proc
+	}
+	return a < b
+}
+
+// removeNode deletes node nid from the subtree rooted at id by rotating
+// it down until a child slot frees, recomputing aggregates along the
+// way, and returns the new subtree root.
+func (p *Packer) removeNode(id, nid int32) int32 {
+	if id < 0 {
+		return -1
+	}
+	if id == nid {
+		l, r := p.nodes[id].left, p.nodes[id].right
+		if l < 0 {
+			return r
+		}
+		if r < 0 {
+			return l
+		}
+		if p.nodes[l].prio > p.nodes[r].prio {
+			nr := p.rotateRight(id)
+			p.nodes[nr].right = p.removeNode(p.nodes[nr].right, nid)
+			p.update(nr)
+			return nr
+		}
+		nr := p.rotateLeft(id)
+		p.nodes[nr].left = p.removeNode(p.nodes[nr].left, nid)
+		p.update(nr)
+		return nr
+	}
+	if p.nodeBefore(nid, id) {
+		p.nodes[id].left = p.removeNode(p.nodes[id].left, nid)
+	} else {
+		p.nodes[id].right = p.removeNode(p.nodes[id].right, nid)
+	}
+	p.update(id)
+	return id
 }
 
 // Allocation materialises the admitted set in emission order with

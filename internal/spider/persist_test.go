@@ -1,0 +1,241 @@
+package spider
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+// TestPersistentMatchesFromScratchProbing runs the same query mix —
+// full min-makespan searches, deadline sweeps, task-count changes —
+// through the default probe-persistent path and the from-scratch
+// streaming path (SetFromScratchProbing): makespans and schedules must
+// be identical, the persistence only changes how much of the previous
+// probe's work each probe reuses.
+func TestPersistentMatchesFromScratchProbing(t *testing.T) {
+	trials := 40
+	if testing.Short() {
+		trials = 10
+	}
+	g := platform.MustGenerator(654, 1, 9, platform.Bimodal)
+	for trial := 0; trial < trials; trial++ {
+		sp := g.Spider(1+trial%6, 1+trial%4)
+		n := 1 + trial%19
+		t.Run(fmt.Sprintf("trial=%d", trial), func(t *testing.T) {
+			persist, err := NewSolver(sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scratch, err := NewSolver(sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scratch.SetFromScratchProbing(true)
+
+			mkP, schP, err := persist.MinMakespan(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mkS, schS, err := scratch.MinMakespan(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mkP != mkS {
+				t.Fatalf("persistent makespan %d, from-scratch %d", mkP, mkS)
+			}
+			if !schP.Equal(schS) {
+				t.Fatalf("schedules diverge:\npersistent: %vfrom-scratch: %v", schP, schS)
+			}
+			// Warm solvers, interleaved deadline sweep and budget
+			// changes: every rewind pattern — repeats, shrinks, grows,
+			// resets — must stay schedule-identical.
+			for _, m := range []int{n, max(1, n/2), n + 3, n} {
+				for deadline := platform.Time(0); deadline <= mkP+5; deadline += max(1, mkP/5) {
+					a, err := persist.MaxTasks(m, deadline)
+					if err != nil {
+						t.Fatal(err)
+					}
+					b, err := scratch.MaxTasks(m, deadline)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if a != b {
+						t.Fatalf("m=%d deadline=%d: persistent admits %d, from-scratch %d", m, deadline, a, b)
+					}
+					sa, err := persist.ScheduleWithin(m, deadline)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sb, err := scratch.ScheduleWithin(m, deadline)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !sa.Equal(sb) {
+						t.Fatalf("m=%d deadline=%d: deadline-limited schedules diverge", m, deadline)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPersistentMatchesFromScratchWide is the same identity on a wide
+// platform — the E5p regime where probe persistence exists to win and
+// where a rewind bug would be invisible to small randomized trials.
+func TestPersistentMatchesFromScratchWide(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wide-platform equivalence skipped in -short mode")
+	}
+	g := platform.MustGenerator(88, 1, 30, platform.Bimodal)
+	sp := g.Spider(256, 3)
+	n := 384
+
+	persist, err := NewSolver(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := NewSolver(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch.SetFromScratchProbing(true)
+
+	mkP, schP, err := persist.MinMakespan(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkS, schS, err := scratch.MinMakespan(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mkP != mkS {
+		t.Fatalf("persistent makespan %d, from-scratch %d", mkP, mkS)
+	}
+	if !schP.Equal(schS) {
+		t.Fatal("wide-platform schedules diverge")
+	}
+	if err := schP.Verify(); err != nil {
+		t.Fatalf("wide-platform schedule infeasible: %v", err)
+	}
+	st := persist.Stats()
+	if st.PackProbes == 0 || st.Reoffered == 0 {
+		t.Fatalf("persistent path did not run: %+v", st)
+	}
+}
+
+// TestTwoSidedSeedingReducesProbes pins the satellite claim with the
+// new telemetry, on the regime the seeding targets: wide platforms,
+// where the optimum sits a small port-contention gap above the
+// steady-state bound while the master-only upper bound (one leg doing
+// everything) is half a platform away — so galloping to a feasible
+// upper seed replaces most of the binary descent. The seeded search
+// must converge to the identical schedule while running strictly fewer
+// packing probes and strictly fewer feasibility probes. (On narrow
+// platforms the master-only bound is already close and the gallop can
+// cost a probe or two; the soundness test below covers those.)
+func TestTwoSidedSeedingReducesProbes(t *testing.T) {
+	for _, tc := range []struct {
+		seed        int64
+		lo, hi      platform.Time
+		legs, depth int
+		n           int
+	}{
+		{99, 1, 9, 16, 2, 128},
+		{2025, 1, 30, 256, 3, 512},
+	} {
+		g := platform.MustGenerator(tc.seed, tc.lo, tc.hi, platform.Bimodal)
+		sp := g.Spider(tc.legs, tc.depth)
+
+		seeded, err := NewSolver(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unseeded, err := NewSolver(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unseeded.SetTwoSidedSeeding(false)
+
+		mkA, schA, err := seeded.MinMakespan(tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mkB, schB, err := unseeded.MinMakespan(tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mkA != mkB || !schA.Equal(schB) {
+			t.Fatalf("legs=%d n=%d: seeded search diverged: %d vs %d", tc.legs, tc.n, mkA, mkB)
+		}
+		a, b := seeded.Stats(), unseeded.Stats()
+		if a.Probes >= b.Probes {
+			t.Errorf("legs=%d n=%d: seeded search ran %d probes, unseeded %d — want a strict drop",
+				tc.legs, tc.n, a.Probes, b.Probes)
+		}
+
+		// The packing-probe drop is asserted on the from-scratch path,
+		// where every probe packs: in persistent mode the decision log
+		// absorbs probes on both sides (RewindHits), so PackProbes no
+		// longer measures search length there.
+		seededFS, err := NewSolver(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seededFS.SetFromScratchProbing(true)
+		unseededFS, err := NewSolver(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unseededFS.SetFromScratchProbing(true)
+		unseededFS.SetTwoSidedSeeding(false)
+		if _, _, err := seededFS.MinMakespan(tc.n); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := unseededFS.MinMakespan(tc.n); err != nil {
+			t.Fatal(err)
+		}
+		af, bf := seededFS.Stats(), unseededFS.Stats()
+		if af.PackProbes >= bf.PackProbes {
+			t.Errorf("legs=%d n=%d: seeded from-scratch search ran %d packing probes, unseeded %d — want a strict drop",
+				tc.legs, tc.n, af.PackProbes, bf.PackProbes)
+		}
+	}
+}
+
+// TestTwoSidedSeedingSoundRandomized: across regimes and sizes the
+// seeded and unseeded searches must agree exactly — the bounds are
+// proven, so seeding may only skip probes, never move the optimum.
+func TestTwoSidedSeedingSoundRandomized(t *testing.T) {
+	trials := 30
+	if testing.Short() {
+		trials = 8
+	}
+	for _, regime := range []platform.Heterogeneity{platform.Uniform, platform.CommBound, platform.ComputeBound, platform.Bimodal} {
+		g := platform.MustGenerator(500+int64(regime), 1, 9, regime)
+		for trial := 0; trial < trials; trial++ {
+			sp := g.Spider(1+trial%5, 1+trial%4)
+			n := 1 + trial%23
+			seeded, err := NewSolver(sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			unseeded, err := NewSolver(sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			unseeded.SetTwoSidedSeeding(false)
+			mkA, schA, err := seeded.MinMakespan(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mkB, schB, err := unseeded.MinMakespan(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mkA != mkB || !schA.Equal(schB) {
+				t.Fatalf("%v n=%d: seeded %d, unseeded %d", sp, n, mkA, mkB)
+			}
+		}
+	}
+}

@@ -88,18 +88,66 @@ type Solver struct {
 	legs []*legPlan
 	vbuf []platform.VirtualSlave // slice-packing probe scratch, admission order
 	kbuf []int                   // reused per-leg fit counts
-	cbuf []legCursor             // reused merge heap
+	cbuf []legCursor             // reused merge heap (from-scratch paths)
+
+	// Probe-persistent state (the default probing mode): the packer
+	// whose decision log survives across deadline probes, the tournament
+	// merge whose leg cursors survive with it, the fit counts of the
+	// recorded probe, and the per-leg retained counts Rewind reports.
+	pp       *fork.ProbePacker
+	lt       *loserTree
+	kprev    []int
+	consumed []int
+	grown    []mergeLeaf // probe scratch: grown runs' added-range cursors
+
+	// scratch is the pooled packer of the from-scratch streaming path,
+	// Reset instead of reallocated per probe.
+	scratch *fork.Packer
 
 	// slicePack routes probes through the materialised vbuf +
 	// fork.PackSorted path instead of streaming the merge into the tree
 	// packer; see SetSlicePacking.
 	slicePack bool
+	// scratchProbe routes probes through the PR 3-era from-scratch
+	// streaming path; see SetFromScratchProbing.
+	scratchProbe bool
+	// seed2off disables the two-sided deadline-search seeding; see
+	// SetTwoSidedSeeding.
+	seed2off bool
+
+	stats ProbeStats
 
 	// prepared high-water marks: fit(n, deadline) needs no growth when
 	// both are dominated, so warm probes skip the worker pool entirely.
 	prepN        int
 	prepDeadline platform.Time
 }
+
+// ProbeStats is the solver's cumulative deadline-search telemetry; the
+// E5p ablation and the msbench -json probes-per-solve column read it.
+type ProbeStats struct {
+	// Solves counts MinMakespan searches.
+	Solves int
+	// Probes counts feasibility probes (fits evaluations).
+	Probes int
+	// PackProbes counts probes that actually ran packing work — the
+	// expensive kind; the rest were settled by fit-count sums alone or
+	// entirely from the recorded decision log (RewindHits).
+	PackProbes int
+	// CountChecks counts pure fit-count evaluations: sum-of-fits
+	// shortcut rejections and the seeding's bound search.
+	CountChecks int
+	// RewindHits counts persistent probes answered entirely from the
+	// recorded decision log — no merge, no packing work at all.
+	RewindHits int
+	// Reoffered counts candidates offered to the persistent packer
+	// after a rewind (the from-scratch paths re-offer every candidate,
+	// every probe; this is the persistent loop's total).
+	Reoffered int64
+}
+
+// Stats returns the cumulative probe telemetry.
+func (s *Solver) Stats() ProbeStats { return s.stats }
 
 // NewSolver validates the spider and prepares empty per-leg plans.
 func NewSolver(sp platform.Spider) (*Solver, error) {
@@ -190,6 +238,24 @@ func (c *legCursor) load() {
 // measures what the streaming tree packer buys on wide platforms.
 func (s *Solver) SetSlicePacking(on bool) { s.slicePack = on }
 
+// SetFromScratchProbing routes every subsequent probe through the
+// PR 3-era streaming path: a fresh heap merge over every leg cursor and
+// a freshly packed treap per probe, instead of the probe-persistent
+// packer and tournament merge. The paths produce identical schedules
+// (the equivalence tests assert it); the knob exists for that assertion
+// and for the E5p ablation that measures what probe persistence buys.
+// SetSlicePacking takes precedence when both are set.
+func (s *Solver) SetFromScratchProbing(on bool) { s.scratchProbe = on }
+
+// SetTwoSidedSeeding toggles (default on) the two-sided deadline-search
+// seeding of MinMakespan: the sum-of-fits lower-bound tightening and
+// the galloping feasible-upper-bound discovery. Off reverts to the PR 2
+// search (steady-state lower bound, master-only upper bound). The
+// converged optimum is identical either way — both bounds are proven —
+// which the equivalence tests assert; the knob exists for them and for
+// the probe-count telemetry comparison.
+func (s *Solver) SetTwoSidedSeeding(on bool) { s.seed2off = !on }
+
 // legCounts fills the per-leg fit counts for the deadline and returns
 // them along with their sum (the merged candidate total). The returned
 // slice is the solver's scratch buffer, valid until the next probe.
@@ -238,66 +304,174 @@ func (s *Solver) merge(ks []int, emit func(platform.VirtualSlave) bool) {
 	}
 }
 
-// packProbe runs one deadline probe's fork packing over the merged
-// per-leg runs and returns the packer holding the admitted set. On the
-// default streaming path candidates feed the balanced-tree packer
-// directly and the merge stops as soon as n tasks are admitted; with
-// SetSlicePacking the full slice is materialised and packed by
-// fork.PackSorted for comparison.
-func (s *Solver) packProbe(n int, deadline platform.Time, ks []int) (*fork.Packer, *fork.Allocation, error) {
-	if s.slicePack {
-		s.vbuf = s.vbuf[:0]
-		s.merge(ks, func(v platform.VirtualSlave) bool {
-			s.vbuf = append(s.vbuf, v)
-			return true
-		})
-		alloc, err := fork.PackSorted(s.vbuf, n, deadline)
-		return nil, alloc, err
+// slicePackProbe is the legacy materialise-and-PackSorted probe: the
+// full k-way merged slice is rebuilt and packed from scratch.
+func (s *Solver) slicePackProbe(n int, deadline platform.Time, ks []int) (*fork.Allocation, error) {
+	s.stats.PackProbes++
+	s.vbuf = s.vbuf[:0]
+	s.merge(ks, func(v platform.VirtualSlave) bool {
+		s.vbuf = append(s.vbuf, v)
+		return true
+	})
+	return fork.PackSorted(s.vbuf, n, deadline)
+}
+
+// scratchStreamProbe is the PR 3 streaming probe: a heap merge feeds a
+// per-probe packing that stops as soon as n tasks are admitted. The
+// packer itself is pooled (Reset, not reallocated) across probes.
+func (s *Solver) scratchStreamProbe(n int, deadline platform.Time, ks []int) (*fork.Packer, error) {
+	s.stats.PackProbes++
+	if s.scratch == nil {
+		p, err := fork.NewPacker(n, deadline)
+		if err != nil {
+			return nil, err
+		}
+		s.scratch = p
+	} else if err := s.scratch.Reset(n, deadline); err != nil {
+		return nil, err
 	}
-	p, err := fork.NewPacker(n, deadline)
-	if err != nil {
-		return nil, nil, err
-	}
+	p := s.scratch
 	s.merge(ks, func(v platform.VirtualSlave) bool {
 		p.Offer(v)
 		return !p.Full()
 	})
-	return p, nil, nil
+	return p, nil
 }
 
-// probeCount is packProbe returning only the number of admitted tasks,
-// skipping allocation materialisation on the streaming path.
-func (s *Solver) probeCount(n int, deadline platform.Time, ks []int) (int, error) {
-	p, alloc, err := s.packProbe(n, deadline, ks)
+// persistentProbe is the default probe: the recorded decision log of
+// the previous probe is rewound to its first divergence — the earliest
+// decision flip or candidate-stream change for the new deadline — and
+// only the suffix is re-decided. The re-decided stretch is not even
+// re-merged from the leg cursors: the rewound tail already lists the
+// old stream in admission order, so the resume joins it against a
+// small heap over just the grown runs' added candidates, and the full
+// tournament merge takes over only past the tail's end (which exists
+// only when the recorded run stopped on a filled budget). The admitted
+// set is provably identical to a from-scratch run, which the
+// equivalence ladder and fuzz tests assert.
+func (s *Solver) persistentProbe(n int, deadline platform.Time, ks []int) error {
+	if s.pp == nil {
+		s.pp = fork.NewProbePacker()
+		s.lt = newLoserTree(s.legs)
+		s.kprev = make([]int, len(s.legs))
+		s.consumed = make([]int, len(s.legs))
+	}
+	// The earliest candidate at which the new stream differs from the
+	// recorded one: per leg, runs extend (or shrink) at the backward
+	// index where the fit counts diverge, at constant Comm with strictly
+	// ascending Proc — so the overall earliest is the admission-order
+	// minimum over the changed legs. Grown legs also contribute their
+	// added range [kprev, ks) as a resume cursor.
+	var change *platform.VirtualSlave
+	var cv platform.VirtualSlave
+	grown := s.grown[:0]
+	rn, recOK := s.pp.Recorded()
+	joined := recOK && rn == n
+	if joined {
+		for b, lp := range s.legs {
+			if ks[b] == s.kprev[b] {
+				continue
+			}
+			j := min(ks[b], s.kprev[b])
+			v := platform.VirtualSlave{Comm: lp.c1, Proc: -lp.inc.Emission(j) - lp.c1, Leg: b, Rank: j}
+			if change == nil || platform.CompareVirtualSlaves(v, cv) < 0 {
+				cv, change = v, &cv
+			}
+			if ks[b] > s.kprev[b] {
+				lf := mergeLeaf{lp: lp, leg: b, j: s.kprev[b], k: ks[b]}
+				lf.load()
+				grown = append(grown, lf)
+			}
+		}
+	}
+	done, _, err := s.pp.Rewind(n, deadline, change, s.consumed)
 	if err != nil {
-		return 0, err
+		s.grown = grown
+		return err
 	}
-	if p != nil {
-		return p.Len(), nil
+	switch {
+	case done:
+		// Settled entirely from the recorded decisions: not a packing
+		// probe — no merge, no treap work ran.
+		s.stats.RewindHits++
+	case !joined:
+		// No matching recorded run: plain full merge from scratch.
+		s.stats.PackProbes++
+		s.lt.adjust(s.consumed, ks)
+		s.drainMerge()
+	default:
+		s.stats.PackProbes++
+		// Phase 1: join the rewound tail (the old stream, in admission
+		// order) against the grown runs' added candidates. Tail entries
+		// of shrunken runs are dropped; the rest mostly settle by their
+		// recorded bounds without touching the treap or any cursor.
+		for i := len(grown)/2 - 1; i >= 0; i-- {
+			siftDown(grown, i)
+		}
+		for !s.pp.Full() {
+			tv, tok := s.pp.TailPeek()
+			if tok && tv.Rank >= ks[tv.Leg] {
+				s.pp.TailDrop()
+				continue
+			}
+			if tok && (len(grown) == 0 || platform.CompareVirtualSlaves(tv, grown[0].cur) < 0) {
+				s.pp.TailReplay()
+				s.consumed[tv.Leg]++
+				s.stats.Reoffered++
+				continue
+			}
+			if len(grown) == 0 {
+				break
+			}
+			g := &grown[0]
+			s.pp.Offer(g.cur)
+			s.consumed[g.leg]++
+			s.stats.Reoffered++
+			if g.j++; g.j < g.k {
+				g.load()
+			} else {
+				grown[0] = grown[len(grown)-1]
+				grown = grown[:len(grown)-1]
+			}
+			siftDown(grown, 0)
+		}
+		// Phase 2: the recorded run stopped on a filled budget, so the
+		// stream continues past the tail's end — the full tournament
+		// takes over from the consumed positions.
+		if !s.pp.Full() && s.pp.TailWasFull() {
+			s.lt.adjust(s.consumed, ks)
+			s.drainMerge()
+		}
 	}
-	return alloc.Len(), nil
+	s.grown = grown[:0]
+	copy(s.kprev, ks)
+	return nil
 }
 
-// probeAlloc is packProbe returning the materialised allocation.
-func (s *Solver) probeAlloc(n int, deadline platform.Time, ks []int) (*fork.Allocation, error) {
-	p, alloc, err := s.packProbe(n, deadline, ks)
-	if err != nil {
-		return nil, err
+// drainMerge streams the tournament merge into the persistent packer
+// until the budget fills or the cursors exhaust.
+func (s *Solver) drainMerge() {
+	for !s.pp.Full() {
+		v, ok := s.lt.next()
+		if !ok {
+			return
+		}
+		s.pp.Offer(v)
+		s.stats.Reoffered++
 	}
-	if p != nil {
-		return p.Allocation(), nil
-	}
-	return alloc, nil
 }
 
-func siftDown(h []legCursor, i int) {
+// siftDown restores the min-heap order (ascending admission order of
+// the loaded candidates) below index i; shared by the legacy merge
+// heap and the grown-run cursor heap.
+func siftDown[T interface{ candidate() platform.VirtualSlave }](h []T, i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		least := i
-		if l < len(h) && platform.CompareVirtualSlaves(h[l].cur, h[least].cur) < 0 {
+		if l < len(h) && platform.CompareVirtualSlaves(h[l].candidate(), h[least].candidate()) < 0 {
 			least = l
 		}
-		if r < len(h) && platform.CompareVirtualSlaves(h[r].cur, h[least].cur) < 0 {
+		if r < len(h) && platform.CompareVirtualSlaves(h[r].candidate(), h[least].candidate()) < 0 {
 			least = r
 		}
 		if least == i {
@@ -306,6 +480,59 @@ func siftDown(h []legCursor, i int) {
 		h[i], h[least] = h[least], h[i]
 		i = least
 	}
+}
+
+func (c legCursor) candidate() platform.VirtualSlave { return c.cur }
+
+// probeCount runs one deadline probe and returns the number of admitted
+// tasks, skipping allocation materialisation on the streaming paths.
+func (s *Solver) probeCount(n int, deadline platform.Time, ks []int) (int, error) {
+	if s.slicePack {
+		alloc, err := s.slicePackProbe(n, deadline, ks)
+		if err != nil {
+			return 0, err
+		}
+		return alloc.Len(), nil
+	}
+	if s.scratchProbe {
+		p, err := s.scratchStreamProbe(n, deadline, ks)
+		if err != nil {
+			return 0, err
+		}
+		return p.Len(), nil
+	}
+	if err := s.persistentProbe(n, deadline, ks); err != nil {
+		return 0, err
+	}
+	return s.pp.Len(), nil
+}
+
+// probeAlloc runs one deadline probe and returns the materialised
+// allocation. The persistent path's candidates carry the deadline-
+// independent backward index in Rank (so logged candidates stay
+// comparable across probes); materialisation translates them back to
+// the emission rank k−1−j every other path uses, so the allocation —
+// and hence the reverted schedule — is identical across all paths.
+func (s *Solver) probeAlloc(n int, deadline platform.Time, ks []int) (*fork.Allocation, error) {
+	if s.slicePack {
+		return s.slicePackProbe(n, deadline, ks)
+	}
+	if s.scratchProbe {
+		p, err := s.scratchStreamProbe(n, deadline, ks)
+		if err != nil {
+			return nil, err
+		}
+		return p.Allocation(), nil
+	}
+	if err := s.persistentProbe(n, deadline, ks); err != nil {
+		return nil, err
+	}
+	alloc := s.pp.Allocation()
+	for i := range alloc.Slaves {
+		c := &alloc.Slaves[i]
+		c.Rank = ks[c.Leg] - 1 - c.Rank
+	}
+	return alloc, nil
 }
 
 // MaxTasks returns how many of at most n tasks complete within the
@@ -328,8 +555,10 @@ func (s *Solver) MaxTasks(n int, deadline platform.Time) (int, error) {
 // the merge and packing are skipped outright; otherwise the counts
 // already computed feed the packing directly instead of being rescanned.
 func (s *Solver) fits(n int, deadline platform.Time) (bool, error) {
+	s.stats.Probes++
 	ks, total := s.legCounts(n, deadline)
 	if total < n {
+		s.stats.CountChecks++
 		return false, nil
 	}
 	m, err := s.probeCount(n, deadline, ks)
@@ -373,20 +602,93 @@ func (s *Solver) ScheduleWithin(n int, deadline platform.Time) (*sched.SpiderSch
 // (the maximum task count within a deadline is non-decreasing in the
 // deadline, so feasibility of n tasks is monotone). The leg plans are
 // grown once, in parallel, for the upper bound; every probe then costs
-// only per-leg binary searches plus one packing. The search is seeded
-// at the steady-state lower bound (baseline.LowerBoundSpider): the
-// bound is proven, so no deadline below it is feasible and the probes
-// it would have spent rejecting them are skipped — the converged
-// optimum, and hence the schedule, are unchanged.
+// only per-leg binary searches plus one (probe-persistent) packing.
+//
+// The search interval is seeded from both sides. Below: the proven
+// steady-state lower bound (baseline.LowerBoundSpider, PR 2) is
+// tightened to the sum-of-fits bound — the smallest deadline whose
+// per-leg fit counts sum to n, a necessary condition for feasibility
+// found by binary search over fit counts alone, no packing. Above: the
+// search gallops up from that bound with doubling steps until a probe
+// succeeds, replacing the master-only upper bound (one leg doing
+// everything) with a feasible deadline only a port-contention gap away.
+// Every bound is proven, so the converged optimum — and hence the
+// schedule — is unchanged, which the equivalence tests assert.
 func (s *Solver) MinMakespan(n int) (platform.Time, *sched.SpiderSchedule, error) {
 	if n <= 0 {
 		return 0, nil, fmt.Errorf("spider: task count %d is not positive", n)
 	}
+	s.stats.Solves++
 	lo, hi := platform.Time(1), s.sp.MasterOnlyMakespan(n)
 	if lb, err := baseline.LowerBoundSpider(s.sp, n); err == nil && lb > lo && lb <= hi {
 		lo = lb
 	}
-	s.prepare(n, hi)
+	if s.seed2off || lo >= hi {
+		s.prepare(n, hi)
+	} else {
+		// Seeded: grow the leg plans only as far as the search actually
+		// climbs, instead of to the master-only horizon. Every probe
+		// below goes through prepare first, so the parallel growth still
+		// happens — but it stops a port-contention gap above the
+		// optimum, which on wide platforms is a fraction of the
+		// master-only cover that the PR 2 search constructed upfront.
+		s.prepare(n, lo)
+		// Sum-of-fits tightening: fit counts are monotone in the
+		// deadline and fewer than n total fits cannot pack n. Gallop
+		// up from the steady-state bound, then bisect the last step —
+		// never evaluating (or growing toward) master-only deadlines.
+		count := func(d platform.Time) int {
+			s.prepare(n, d)
+			s.stats.CountChecks++
+			_, total := s.legCounts(n, d)
+			return total
+		}
+		if count(lo) < n {
+			d, step := lo, platform.Time(1)
+			sfLo := lo + 1
+			for {
+				d = min(d+step, hi)
+				if step *= 2; step <= 0 {
+					step = hi
+				}
+				if d == hi || count(d) >= n {
+					break
+				}
+				sfLo = d + 1
+			}
+			for sfLo < d {
+				mid := sfLo + (d-sfLo)/2
+				if count(mid) >= n {
+					d = mid
+				} else {
+					sfLo = mid + 1
+				}
+			}
+			lo = d
+		}
+		// Gallop: the first feasible probe seeds the upper bound. A
+		// success at the sum-of-fits bound itself ends the search
+		// outright (a feasible lower bound is the optimum).
+		d, step := lo, platform.Time(1)
+		for lo < hi {
+			s.prepare(n, d)
+			ok, err := s.fits(n, d)
+			if err != nil {
+				return 0, nil, err
+			}
+			if ok {
+				hi = d
+				break
+			}
+			lo = d + 1
+			if step >= hi-d {
+				s.prepare(n, hi)
+				break
+			}
+			d += step
+			step *= 2
+		}
+	}
 	for lo < hi {
 		mid := lo + (hi-lo)/2
 		ok, err := s.fits(n, mid)
