@@ -1,5 +1,5 @@
 // Command msched computes optimal master-slave schedules (Dutot, IPPS
-// 2003) for chains and spiders.
+// 2003) for chains, spiders, forks and general trees.
 //
 // Usage:
 //
@@ -8,11 +8,16 @@
 //	msched -platform platform.json -n 10
 //
 // The chain/spider specs are (c,w) pairs; see cmd/msgen to generate
-// platform files. With -deadline the tool maximises the number of tasks
-// completed by the deadline instead of minimising the makespan. The
-// -slow flag routes spider scheduling through the unmemoized reference
-// solver (identical output, rebuilt from scratch at every deadline
-// probe) for cross-checking the fast path in the field.
+// platform files (any kind, trees included — a tree schedules through
+// its §8 spider cover). With -deadline the tool maximises the number of
+// tasks completed by the deadline instead of minimising the makespan.
+//
+// Every topology routes through the unified repro.Platform /
+// repro.Solver API — one code path from the parsed platform to the
+// printed schedule. The -slow flag routes spider scheduling through the
+// unmemoized reference solver (identical output, rebuilt from scratch
+// at every deadline probe) for cross-checking the fast path in the
+// field.
 package main
 
 import (
@@ -24,7 +29,6 @@ import (
 	"repro"
 	"repro/internal/cli"
 	"repro/internal/platform"
-	"repro/internal/sched"
 	"repro/internal/spider"
 )
 
@@ -48,7 +52,7 @@ func run(args []string, out io.Writer) (err error) {
 	var (
 		chainSpec  = fs.String("chain", "", "inline chain spec: c1,w1,c2,w2,...")
 		spiderSpec = fs.String("spider", "", "inline spider spec: leg;leg;... (each leg a chain spec)")
-		platPath   = fs.String("platform", "", "platform JSON file (see msgen)")
+		platPath   = fs.String("platform", "", "platform JSON file (see msgen; any kind, trees included)")
 		n          = fs.Int("n", 1, "number of tasks")
 		deadline   = fs.Int64("deadline", -1, "maximise tasks completed by this deadline instead of minimising makespan")
 		showGantt  = fs.Bool("gantt", false, "print an ASCII Gantt chart")
@@ -61,22 +65,16 @@ func run(args []string, out io.Writer) (err error) {
 		return err
 	}
 
-	ch, sp, err := resolvePlatform(*chainSpec, *spiderSpec, *platPath)
+	p, err := resolvePlatform(*chainSpec, *spiderSpec, *platPath)
 	if err != nil {
 		return err
 	}
-
-	switch {
-	case ch != nil:
-		return scheduleChain(out, *ch, *n, *deadline, *showGantt, platform.Time(*scale), *svgPath, *jsonPath)
-	default:
-		return scheduleSpider(out, *sp, *n, *deadline, *slow, *showGantt, platform.Time(*scale), *svgPath, *jsonPath)
-	}
+	return schedule(out, p, *n, *deadline, *slow, *showGantt, platform.Time(*scale), *svgPath, *jsonPath)
 }
 
-// resolvePlatform returns exactly one of chain or spider (forks load as
-// single-node-leg spiders).
-func resolvePlatform(chainSpec, spiderSpec, platPath string) (*platform.Chain, *platform.Spider, error) {
+// resolvePlatform turns the flags into one Platform. Fork files load as
+// their single-node-leg spider form, keeping the historical output.
+func resolvePlatform(chainSpec, spiderSpec, platPath string) (repro.Platform, error) {
 	given := 0
 	for _, s := range []string{chainSpec, spiderSpec, platPath} {
 		if s != "" {
@@ -84,53 +82,63 @@ func resolvePlatform(chainSpec, spiderSpec, platPath string) (*platform.Chain, *
 		}
 	}
 	if given != 1 {
-		return nil, nil, fmt.Errorf("give exactly one of -chain, -spider or -platform")
+		return nil, fmt.Errorf("give exactly one of -chain, -spider or -platform")
 	}
 	switch {
 	case chainSpec != "":
-		ch, err := cli.ParseChain(chainSpec)
-		if err != nil {
-			return nil, nil, err
-		}
-		return &ch, nil, nil
+		return cli.ParseChain(chainSpec)
 	case spiderSpec != "":
-		sp, err := cli.ParseSpider(spiderSpec)
-		if err != nil {
-			return nil, nil, err
-		}
-		return nil, &sp, nil
+		return cli.ParseSpider(spiderSpec)
 	default:
 		dec, err := cli.LoadPlatform(platPath)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		switch dec.Kind {
 		case "chain":
-			return dec.Chain, nil, nil
+			return *dec.Chain, nil
 		case "spider":
-			return nil, dec.Spider, nil
+			return *dec.Spider, nil
+		case "tree":
+			return *dec.Tree, nil
 		default: // fork
-			sp := dec.Fork.Spider()
-			return nil, &sp, nil
+			return dec.Fork.Spider(), nil
 		}
 	}
 }
 
-func scheduleChain(out io.Writer, ch platform.Chain, n int, deadline int64, showGantt bool, scale platform.Time, svgPath, jsonPath string) error {
-	// Oversized (c, w) values or task counts would otherwise surface
-	// as baffling internal errors — or wrapped, silently wrong
-	// schedules — deep in the solver.
-	if err := ch.CheckHorizon(n); err != nil {
+// schedule runs one query through the unified Solver API and prints the
+// result; the -slow spider reference path produces identical schedules
+// through the historical solver. The horizon check rejects platforms
+// whose n-task arithmetic would overflow: oversized (c, w) values or
+// task counts would otherwise surface as baffling internal errors — or
+// wrapped, silently wrong schedules — deep in the solver.
+func schedule(out io.Writer, p repro.Platform, n int, deadline int64, slow, showGantt bool, scale platform.Time, svgPath, jsonPath string) error {
+	if err := p.CheckHorizon(n); err != nil {
 		return err
 	}
 	var (
-		s   *sched.ChainSchedule
+		s   repro.Schedule
 		err error
 	)
-	if deadline >= 0 {
-		s, err = repro.ScheduleChainWithin(ch, n, platform.Time(deadline))
+	if sp, isSpider := p.(repro.Spider); slow && isSpider {
+		switch {
+		case deadline >= 0:
+			s, err = spider.ReferenceScheduleWithin(sp, n, platform.Time(deadline))
+		default:
+			s, err = spider.ReferenceSchedule(sp, n)
+		}
 	} else {
-		s, err = repro.ScheduleChain(ch, n)
+		var solver repro.Solver
+		solver, err = repro.NewSolver(p)
+		if err != nil {
+			return err
+		}
+		if deadline >= 0 {
+			s, err = solver.ScheduleWithin(n, platform.Time(deadline))
+		} else {
+			_, s, err = solver.MinMakespan(n)
+		}
 	}
 	if err != nil {
 		return err
@@ -138,13 +146,13 @@ func scheduleChain(out io.Writer, ch platform.Chain, n int, deadline int64, show
 	if err := s.Verify(); err != nil {
 		return fmt.Errorf("internal error: produced an infeasible schedule: %w", err)
 	}
-	fmt.Fprintf(out, "platform: %s\n", ch)
+	fmt.Fprintf(out, "platform: %s\n", p)
 	if deadline >= 0 {
 		fmt.Fprintf(out, "deadline %d: scheduled %d of %d tasks\n", deadline, s.Len(), n)
 	}
 	fmt.Fprint(out, s)
 	fmt.Fprintf(out, "makespan: %d\n", s.Makespan())
-	if lb, err := repro.ChainLowerBound(ch, s.Len()); err == nil {
+	if lb, err := p.LowerBound(s.Len()); err == nil {
 		fmt.Fprintf(out, "steady-state lower bound: %d\n", lb)
 	}
 	if showGantt {
@@ -162,60 +170,7 @@ func scheduleChain(out io.Writer, ch platform.Chain, n int, deadline int64, show
 			return fmt.Errorf("writing schedule JSON: %w", err)
 		}
 		defer f.Close()
-		return sched.WriteChainSchedule(f, s)
-	}
-	return nil
-}
-
-func scheduleSpider(out io.Writer, sp platform.Spider, n int, deadline int64, slow, showGantt bool, scale platform.Time, svgPath, jsonPath string) error {
-	if err := sp.CheckHorizon(n); err != nil {
-		return err
-	}
-	var (
-		s   *sched.SpiderSchedule
-		err error
-	)
-	switch {
-	case deadline >= 0 && slow:
-		s, err = spider.ReferenceScheduleWithin(sp, n, platform.Time(deadline))
-	case deadline >= 0:
-		s, err = repro.ScheduleSpiderWithin(sp, n, platform.Time(deadline))
-	case slow:
-		s, err = spider.ReferenceSchedule(sp, n)
-	default:
-		s, err = repro.ScheduleSpider(sp, n)
-	}
-	if err != nil {
-		return err
-	}
-	if err := s.Verify(); err != nil {
-		return fmt.Errorf("internal error: produced an infeasible schedule: %w", err)
-	}
-	fmt.Fprintf(out, "platform: %s\n", sp)
-	if deadline >= 0 {
-		fmt.Fprintf(out, "deadline %d: scheduled %d of %d tasks\n", deadline, s.Len(), n)
-	}
-	fmt.Fprint(out, s)
-	fmt.Fprintf(out, "makespan: %d\n", s.Makespan())
-	if lb, err := repro.SpiderLowerBound(sp, s.Len()); err == nil {
-		fmt.Fprintf(out, "steady-state lower bound: %d\n", lb)
-	}
-	if showGantt {
-		fmt.Fprintln(out)
-		fmt.Fprint(out, repro.GanttASCII(s.Intervals(), scale))
-	}
-	if svgPath != "" {
-		if err := os.WriteFile(svgPath, []byte(repro.GanttSVG(s.Intervals(), 8)), 0o644); err != nil {
-			return fmt.Errorf("writing SVG: %w", err)
-		}
-	}
-	if jsonPath != "" {
-		f, err := os.Create(jsonPath)
-		if err != nil {
-			return fmt.Errorf("writing schedule JSON: %w", err)
-		}
-		defer f.Close()
-		return sched.WriteSpiderSchedule(f, s)
+		return repro.WriteSchedule(f, s)
 	}
 	return nil
 }

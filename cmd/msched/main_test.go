@@ -2,11 +2,13 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro"
 	"repro/internal/platform"
 	"repro/internal/sched"
 )
@@ -64,6 +66,60 @@ func TestRunPlatformFile(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "spider schedule: 4 tasks") {
 		t.Errorf("fork platform not scheduled as spider:\n%s", out.String())
+	}
+}
+
+// TestRunTreePlatformFile: a tree platform file schedules through the
+// unified API — the §8 cover — and the JSON artifact is a feasible
+// spider schedule matching direct repro.ScheduleTree.
+func TestRunTreePlatformFile(t *testing.T) {
+	tr := repro.Tree{Roots: []repro.TreeNode{
+		{Comm: 1, Work: 4, Children: []repro.TreeNode{
+			{Comm: 1, Work: 2},
+			{Comm: 2, Work: 3},
+		}},
+		{Comm: 3, Work: 2},
+	}}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := platform.WriteTree(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	js := filepath.Join(dir, "s.json")
+	var out bytes.Buffer
+	if err := run([]string{"-platform", path, "-n", "8", "-json", js}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"platform: tree{", "spider schedule: 8 tasks", "steady-state lower bound"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("output missing %q:\n%s", frag, out.String())
+		}
+	}
+
+	wantMk, wantSched, _, err := repro.ScheduleTree(tr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), fmt.Sprintf("makespan: %d", wantMk)) {
+		t.Errorf("output does not carry ScheduleTree's makespan %d:\n%s", wantMk, out.String())
+	}
+	jf, err := os.Open(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	dec, err := sched.ReadSchedule(jf)
+	if err != nil || dec.Kind != "spider" {
+		t.Fatalf("tree schedule artifact: %v %+v", err, dec)
+	}
+	if !dec.Spider.Equal(wantSched) {
+		t.Error("artifact schedule differs from direct repro.ScheduleTree")
 	}
 }
 
@@ -127,6 +183,9 @@ func TestRunMalformedPlatformFiles(t *testing.T) {
 		{"empty fork", `{"kind":"fork","fork":{"slaves":[]}}`, "fork has no slaves"},
 		{"empty spider", `{"kind":"spider","spider":{"legs":[]}}`, "spider has no legs"},
 		{"truncated file", `{"kind":"spider","spider":{"legs":[{"nodes":[{"c":`, "decoding platform file"},
+		{"empty tree", `{"kind":"tree","tree":{"roots":[]}}`, "tree: no processors"},
+		{"tree zero work", `{"kind":"tree","tree":{"roots":[{"c":1,"w":2,"children":[{"c":3,"w":0}]}]}}`, "non-positive parameters"},
+		{"oversized tree node", `{"kind":"tree","tree":{"roots":[{"c":1,"w":1,"children":[{"c":4611686018427387904,"w":4611686018427387904}]}]}}`, "overflows the integral time range"},
 		{"overflowing values", `{"kind":"chain","chain":{"nodes":[{"c":4611686018427387904,"w":4611686018427387904}]}}`, "overflows the integral time range"},
 		{"values wrapping positive", `{"kind":"chain","chain":{"nodes":[{"c":9223372036854775807,"w":1}]}}`, "overflows the integral time range"},
 		{"oversized leg beside sane leg", `{"kind":"spider","spider":{"legs":[{"nodes":[{"c":1,"w":1}]},{"nodes":[{"c":4611686018427387904,"w":4611686018427387904}]}]}}`, "overflows the integral time range"},

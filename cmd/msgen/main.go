@@ -6,6 +6,7 @@
 //	msgen -kind chain -p 8 -seed 1 -lo 1 -hi 9 -regime bimodal
 //	msgen -kind spider -legs 4 -depth 3
 //	msgen -kind fork -p 6
+//	msgen -kind tree -depth 3 -branch 3
 //	msgen -scenario volunteer       # named scenarios (see -scenarios)
 package main
 
@@ -31,10 +32,11 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("msgen", flag.ContinueOnError)
 	var (
-		kind       = fs.String("kind", "chain", "chain | spider | fork")
+		kind       = fs.String("kind", "chain", "chain | spider | fork | tree")
 		p          = fs.Int("p", 4, "processors (chain) or slaves (fork)")
 		legs       = fs.Int("legs", 3, "legs (spider)")
-		depth      = fs.Int("depth", 2, "max leg depth (spider)")
+		depth      = fs.Int("depth", 2, "max leg depth (spider) or max node depth (tree)")
+		branch     = fs.Int("branch", 2, "max children per node (tree)")
 		seed       = fs.Int64("seed", 1, "random seed")
 		lo         = fs.Int64("lo", 1, "minimum c/w value")
 		hi         = fs.Int64("hi", 9, "maximum c/w value")
@@ -98,7 +100,15 @@ func run(args []string, out io.Writer) error {
 		return platform.WriteSpider(out, g.Spider(*legs, *depth))
 	case "fork":
 		return platform.WriteFork(out, g.Fork(*p))
+	case "tree":
+		if *branch < 1 {
+			return fmt.Errorf("tree branching factor %d is not positive", *branch)
+		}
+		if *depth < 1 {
+			return fmt.Errorf("tree depth %d is not positive", *depth)
+		}
+		return platform.WriteTree(out, g.Tree(*depth, *branch))
 	default:
-		return fmt.Errorf("unknown kind %q (want chain, spider or fork)", *kind)
+		return fmt.Errorf("unknown kind %q (want chain, spider, fork or tree)", *kind)
 	}
 }

@@ -42,6 +42,60 @@ func TestGenerateSpiderAndFork(t *testing.T) {
 	}
 }
 
+// TestGenerateTreeRoundTrip: -kind tree emits a valid tagged envelope
+// that round-trips through the platform codec — shape, parameters and
+// fingerprint intact — and the depth/branch knobs bound the shape.
+func TestGenerateTreeRoundTrip(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-kind", "tree", "-depth", "3", "-branch", "3", "-seed", "11", "-regime", "bimodal"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := platform.Read(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Kind != "tree" || dec.Tree == nil {
+		t.Fatalf("decoded %+v, want a tree", dec)
+	}
+	if err := dec.Tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := dec.Tree.NumProcs(); got < 1 || got > 3+9+27 {
+		t.Errorf("tree has %d processors, outside the depth-3 branch-3 bound", got)
+	}
+	var depthOf func(n platform.TreeNode) int
+	depthOf = func(n platform.TreeNode) int {
+		if len(n.Children) > 3 {
+			t.Fatalf("node has %d children, branch cap is 3", len(n.Children))
+		}
+		d := 1
+		for _, c := range n.Children {
+			if cd := 1 + depthOf(c); cd > d {
+				d = cd
+			}
+		}
+		return d
+	}
+	for _, r := range dec.Tree.Roots {
+		if d := depthOf(r); d > 3 {
+			t.Errorf("tree depth %d exceeds the knob", d)
+		}
+	}
+
+	// Re-encode and re-decode: the fingerprint must survive the trip.
+	var buf bytes.Buffer
+	if err := platform.WriteTree(&buf, *dec.Tree); err != nil {
+		t.Fatal(err)
+	}
+	again, err := platform.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if platform.HashTree(*again.Tree) != platform.HashTree(*dec.Tree) {
+		t.Error("tree fingerprint changed across an encode/decode round trip")
+	}
+}
+
 func TestGenerateDeterministic(t *testing.T) {
 	var a, b bytes.Buffer
 	if err := run([]string{"-kind", "chain", "-p", "6", "-seed", "42"}, &a); err != nil {
@@ -101,6 +155,8 @@ func TestGenerateErrors(t *testing.T) {
 		{"-regime", "zipf"},
 		{"-scenario", "nope"},
 		{"-lo", "0"},
+		{"-kind", "tree", "-branch", "0"},
+		{"-kind", "tree", "-depth", "0"},
 	} {
 		var out bytes.Buffer
 		if err := run(args, &out); err == nil {

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro"
 	"repro/internal/platform"
 	"repro/internal/service"
 	"repro/internal/service/client"
@@ -110,6 +111,75 @@ func TestServeQueryShutdown(t *testing.T) {
 			t.Errorf("output missing %q:\n%s", frag, out.String())
 		}
 	}
+}
+
+// TestServeTreeMatchesScheduleTree is the PR's acceptance criterion
+// end to end: a tree served through the msserve daemon answers with a
+// makespan and schedule identical to direct repro.ScheduleTree, and
+// warm repeats hit the LRU and the scalar memo — counter-asserted over
+// /stats.
+func TestServeTreeMatchesScheduleTree(t *testing.T) {
+	cl, cancel, _, done := startServer(t, nil)
+	defer cancel()
+	ctx := context.Background()
+
+	tr := repro.Tree{Roots: []repro.TreeNode{
+		{Comm: 1, Work: 4, Children: []repro.TreeNode{
+			{Comm: 1, Work: 2},
+			{Comm: 2, Work: 3, Children: []repro.TreeNode{{Comm: 1, Work: 1}}},
+		}},
+		{Comm: 3, Work: 2},
+	}}
+	n := 19
+	wantMk, wantSched, _, err := repro.ScheduleTree(tr, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold, err := cl.MinMakespanTree(ctx, tr, n, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := cl.MinMakespanTree(ctx, tr, n, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Meta.Cache != "miss" || warm.Meta.Cache != "hit" {
+		t.Errorf("tree cache metadata: %q then %q, want miss then hit", cold.Meta.Cache, warm.Meta.Cache)
+	}
+	for _, resp := range []*service.Response{cold, warm} {
+		if resp.Makespan != wantMk {
+			t.Errorf("served makespan %d, want ScheduleTree's %d", resp.Makespan, wantMk)
+		}
+		dec, err := resp.DecodeSchedule()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dec.Spider.Equal(wantSched) {
+			t.Error("served tree schedule differs from direct repro.ScheduleTree")
+		}
+	}
+
+	// Scalar repeats ride the per-entry memo.
+	if _, err := cl.MinMakespanTree(ctx, tr, n, false); err != nil {
+		t.Fatal(err)
+	}
+	memoed, err := cl.MinMakespanTree(ctx, tr, n, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !memoed.Meta.Memo || memoed.Makespan != wantMk {
+		t.Errorf("tree memo repeat: memo=%v makespan=%d, want memo hit with %d", memoed.Meta.Memo, memoed.Makespan, wantMk)
+	}
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Constructions != 1 || st.Hits != 3 || st.MemoHits != 1 {
+		t.Errorf("stats = %+v, want 1 construction, 3 hits, 1 memo hit", st)
+	}
+	cancel()
+	<-done
 }
 
 // TestServeConcurrentClients exercises the daemon under concurrent

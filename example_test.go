@@ -1,0 +1,61 @@
+package repro_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// ExamplePlatform schedules 8 tasks on every supported topology through
+// the one unified code path: any Platform — chain, spider, fork or
+// general tree — yields a warmed Solver via NewSolver, and the same
+// calls answer makespan, deadline and throughput questions for all of
+// them.
+func ExamplePlatform() {
+	leg := repro.NewChain(2, 5, 3, 3)
+	platforms := []repro.Platform{
+		leg, // a line of processors (Fig. 1)
+		repro.NewSpider(leg, repro.NewChain(1, 4)), // chains bundled at a one-port master (Fig. 5)
+		repro.NewFork(1, 3, 2, 2),                  // a star: every slave one hop away (§6)
+		repro.Tree{Roots: []repro.TreeNode{ // a general tree (§8), scheduled via its spider cover
+			{Comm: 1, Work: 4, Children: []repro.TreeNode{
+				{Comm: 1, Work: 2},
+				{Comm: 2, Work: 3},
+			}},
+			{Comm: 3, Work: 2},
+		}},
+	}
+
+	const n = 8
+	for _, p := range platforms {
+		solver, err := repro.NewSolver(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mk, schedule, err := solver.MinMakespan(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := schedule.Verify(); err != nil {
+			log.Fatal(err)
+		}
+		// The warmed solver answers follow-up queries without repaying
+		// the construction: how many tasks fit in 2/3 of the optimum?
+		fit, err := solver.MaxTasks(n, mk*2/3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lb, err := p.LowerBound(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s makespan %2d (lower bound %2d), %d/%d tasks fit by t=%d\n",
+			p.Kind(), mk, lb, fit, n, mk*2/3)
+	}
+	// Output:
+	// chain  makespan 21 (lower bound 16), 4/8 tasks fit by t=14
+	// spider makespan 17 (lower bound 13), 4/8 tasks fit by t=11
+	// fork   makespan 14 (lower bound 12), 4/8 tasks fit by t=9
+	// tree   makespan 12 (lower bound  8), 4/8 tasks fit by t=8
+}

@@ -7,141 +7,36 @@ import (
 	"repro/internal/platform"
 )
 
-// ChainRate returns the exact steady-state task throughput of a chain:
-// the maximum sustainable rate of tasks entering the chain, from the
-// recursion
-//
-//	X_{p+1} = 0,   X_k = min(1/c_k, 1/w_k + X_{k+1})
-//
-// where 1/c_k caps what link k can carry and 1/w_k is what processor k
-// consumes, the rest flowing deeper. This is the LP relaxation of the
-// scheduling problem (tasks as divisible load); see the related work of
-// §1 ([2], [5], [7]).
+// The steady-state rate and lower-bound math lives on the platform
+// types themselves (internal/platform/rate.go) since the unified
+// Platform API made Throughput/LowerBound part of every topology's
+// method set. These functions remain as the historical entry points —
+// every solver and experiment calls through them — and delegate.
+
+// ChainRate returns the exact steady-state task throughput of a chain
+// (platform.Chain.Throughput): the LP relaxation of the scheduling
+// problem, tasks as divisible load.
 func ChainRate(ch platform.Chain) (*big.Rat, error) {
-	if err := ch.Validate(); err != nil {
-		return nil, err
-	}
-	rate := new(big.Rat) // X_{p+1} = 0
-	for k := ch.Len(); k >= 1; k-- {
-		// X_k = min(1/c_k, 1/w_k + X_{k+1}).
-		withWork := new(big.Rat).Add(new(big.Rat).SetFrac64(1, int64(ch.Work(k))), rate)
-		linkCap := new(big.Rat).SetFrac64(1, int64(ch.Comm(k)))
-		if withWork.Cmp(linkCap) < 0 {
-			rate = withWork
-		} else {
-			rate = linkCap
-		}
-	}
-	return rate, nil
+	return ch.Throughput()
 }
 
-// SpiderRate returns the exact steady-state throughput of a spider: legs
-// are saturated in ascending first-link latency (the bandwidth-centric
-// allocation of [2]) under the master's one-port budget
-// Σ_b r_b·c_{b,1} ≤ 1 with r_b ≤ ChainRate(leg b). The greedy is optimal
-// because it is a fractional knapsack: ascending c_{b,1} is ascending
-// port-time cost per unit of throughput.
+// SpiderRate returns the exact steady-state throughput of a spider
+// under the master's one-port constraint (platform.Spider.Throughput):
+// the bandwidth-centric allocation of [2].
 func SpiderRate(sp platform.Spider) (*big.Rat, error) {
-	if err := sp.Validate(); err != nil {
-		return nil, err
-	}
-	type legRate struct {
-		c1   int64
-		rate *big.Rat
-	}
-	legs := make([]legRate, 0, sp.NumLegs())
-	for _, leg := range sp.Legs {
-		r, err := ChainRate(leg)
-		if err != nil {
-			return nil, err
-		}
-		legs = append(legs, legRate{c1: int64(leg.Comm(1)), rate: r})
-	}
-	// Insertion sort by ascending c1 (legs are few).
-	for i := 1; i < len(legs); i++ {
-		for j := i; j > 0 && legs[j].c1 < legs[j-1].c1; j-- {
-			legs[j], legs[j-1] = legs[j-1], legs[j]
-		}
-	}
-	total := new(big.Rat)
-	budget := new(big.Rat).SetInt64(1) // fraction of port time left
-	for _, l := range legs {
-		if budget.Sign() <= 0 {
-			break
-		}
-		// r = min(l.rate, budget / c1).
-		byPort := new(big.Rat).Quo(budget, new(big.Rat).SetInt64(l.c1))
-		r := l.rate
-		if byPort.Cmp(r) < 0 {
-			r = byPort
-		}
-		total.Add(total, r)
-		spent := new(big.Rat).Mul(r, new(big.Rat).SetInt64(l.c1))
-		budget.Sub(budget, spent)
-	}
-	return total, nil
+	return sp.Throughput()
 }
 
-// ceilDiv returns ceil(n / rate) as a Time, i.e. the steady-state lower
-// bound on the time to inject n tasks at the given rate.
-func ceilDiv(n int, rate *big.Rat) platform.Time {
-	if rate.Sign() <= 0 {
-		return platform.MaxTime
-	}
-	// n / (a/b) = n*b / a.
-	num := new(big.Int).Mul(big.NewInt(int64(n)), rate.Denom())
-	quo, rem := new(big.Int).QuoRem(num, rate.Num(), new(big.Int))
-	if rem.Sign() != 0 {
-		quo.Add(quo, big.NewInt(1))
-	}
-	return platform.Time(quo.Int64())
-}
-
-// LowerBoundChain returns a valid lower bound on the optimal makespan of
-// n tasks on the chain: the larger of the steady-state bound ⌈n/X⌉ and
-// the best single-task completion time (every schedule must finish its
-// last task, which needs at least the fastest solo path).
+// LowerBoundChain returns a valid lower bound on the optimal makespan
+// of n tasks on the chain (platform.Chain.LowerBound): the larger of
+// the steady-state bound ⌈n/X⌉ and the best single-task completion.
 func LowerBoundChain(ch platform.Chain, n int) (platform.Time, error) {
-	if err := ch.Validate(); err != nil {
-		return 0, err
-	}
-	if n <= 0 {
-		return 0, nil
-	}
-	rate, err := ChainRate(ch)
-	if err != nil {
-		return 0, err
-	}
-	lb := ceilDiv(n, rate)
-	if _, solo := ch.BestSoloProc(); solo > lb {
-		lb = solo
-	}
-	return lb, nil
+	return ch.LowerBound(n)
 }
 
 // LowerBoundSpider is LowerBoundChain for spiders.
 func LowerBoundSpider(sp platform.Spider, n int) (platform.Time, error) {
-	if err := sp.Validate(); err != nil {
-		return 0, err
-	}
-	if n <= 0 {
-		return 0, nil
-	}
-	rate, err := SpiderRate(sp)
-	if err != nil {
-		return 0, err
-	}
-	lb := ceilDiv(n, rate)
-	solo := platform.MaxTime
-	for _, leg := range sp.Legs {
-		if _, s := leg.BestSoloProc(); s < solo {
-			solo = s
-		}
-	}
-	if solo > lb {
-		lb = solo
-	}
-	return lb, nil
+	return sp.LowerBound(n)
 }
 
 // RateString renders a rational rate as "p/q (~x.xxx tasks/unit)".

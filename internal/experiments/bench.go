@@ -205,7 +205,10 @@ func MeasureBenchBaseline(reference bool) (*BenchBaseline, error) {
 			ProbesPerSolve: probes,
 		})
 	}
-	if err := measureServiceFamilies(b, sp); err != nil {
+	// SVC-tree draws its platform from a dedicated generator so the
+	// existing cells' instances stay byte-identical to earlier dumps.
+	tg := platform.MustGenerator(77, 1, 9, platform.Uniform)
+	if err := measureServiceFamilies(b, sp, tg.Tree(3, 3), reference); err != nil {
 		return nil, err
 	}
 	// Calibrate again after the families: if the machine picked up load
@@ -228,8 +231,18 @@ func MeasureBenchBaseline(reference bool) (*BenchBaseline, error) {
 //     result memo, an O(1) lookup: exact scalar repeats never re-solve);
 //   - SVC-coalesce: per-request latency when svcFanIn concurrent
 //     identical queries hit the service at once, which exercises the
-//     singleflight path under contention.
-func measureServiceFamilies(b *BenchBaseline, sp platform.Spider) error {
+//     singleflight path under contention;
+//   - SVC-tree: warm max-tasks latency for a general tree — the
+//     solver-factory registry path where the warmed entry is a cached
+//     §8 cover plus its inner spider solver. Every timed rep probes a
+//     DISTINCT deadline, so each is a memo miss that runs the warm
+//     solver (the O(1) scalar-memo path is SVC-warm's job), without
+//     the schedule-encode noise a schedule-bearing query would add.
+//     In reference mode every query hits a FRESH service — the cold,
+//     construction-per-query cost a world without warmed tree solvers
+//     would pay (servers are built outside the timed region) —
+//     freezing the bar the warm path is guarded against.
+func measureServiceFamilies(b *BenchBaseline, sp platform.Spider, tr platform.Tree, reference bool) error {
 	svc := service.New(service.Config{})
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
@@ -250,6 +263,46 @@ func measureServiceFamilies(b *BenchBaseline, sp platform.Spider) error {
 			return err
 		}
 		b.Points = append(b.Points, BenchPoint{Family: "SVC-warm", Size: n, NsPerOp: d.Nanoseconds()})
+	}
+
+	for _, n := range svcSizes {
+		// The deadline walk descends from the optimum, one distinct
+		// value per rep, in both modes — the same solver work whether
+		// the baseline was frozen on this machine or another.
+		opt, err := cl.MinMakespanTree(ctx, tr, n, false)
+		if err != nil {
+			return err
+		}
+		deadline := func(rep int) platform.Time {
+			return max(opt.Makespan-platform.Time(rep), 1)
+		}
+		rep := 0
+		query := func() error {
+			dl := deadline(rep)
+			rep++
+			_, err := cl.MaxTasksTree(ctx, tr, n, dl)
+			return err
+		}
+		if reference {
+			colds := make([]*client.Client, benchReps)
+			for i := range colds {
+				cts := httptest.NewServer(service.New(service.Config{}).Handler())
+				defer cts.Close()
+				colds[i] = client.New(cts.URL, cts.Client())
+			}
+			query = func() error {
+				cold := colds[rep]
+				dl := deadline(rep)
+				rep++
+				_, err := cold.MaxTasksTree(ctx, tr, n, dl)
+				return err
+			}
+		}
+		d, err := minTime(benchReps, query)
+		if err != nil {
+			return err
+		}
+		b.Points = append(b.Points, BenchPoint{Family: "SVC-tree", Size: n, NsPerOp: d.Nanoseconds()})
 	}
 
 	n := svcSizes[len(svcSizes)-1]

@@ -9,10 +9,11 @@ import (
 // fileEnvelope is the on-disk JSON format shared by the cmd/ tools: a
 // tagged union so one file unambiguously carries one platform kind.
 type fileEnvelope struct {
-	Kind   string          `json:"kind"` // "chain" | "spider" | "fork"
+	Kind   string          `json:"kind"` // "chain" | "spider" | "fork" | "tree"
 	Chain  json.RawMessage `json:"chain,omitempty"`
 	Spider json.RawMessage `json:"spider,omitempty"`
 	Fork   json.RawMessage `json:"fork,omitempty"`
+	Tree   json.RawMessage `json:"tree,omitempty"`
 }
 
 // WriteChain encodes a chain to w as a tagged JSON document.
@@ -42,6 +43,15 @@ func WriteFork(w io.Writer, f Fork) error {
 	return writeEnvelope(w, fileEnvelope{Kind: "fork", Fork: raw})
 }
 
+// WriteTree encodes a tree to w as a tagged JSON document.
+func WriteTree(w io.Writer, t Tree) error {
+	raw, err := json.Marshal(t)
+	if err != nil {
+		return fmt.Errorf("platform: encoding tree: %w", err)
+	}
+	return writeEnvelope(w, fileEnvelope{Kind: "tree", Tree: raw})
+}
+
 func writeEnvelope(w io.Writer, env fileEnvelope) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -58,6 +68,7 @@ type Decoded struct {
 	Chain  *Chain
 	Spider *Spider
 	Fork   *Fork
+	Tree   *Tree
 }
 
 // Read decodes a tagged platform document and validates it.
@@ -94,6 +105,15 @@ func Read(r io.Reader) (Decoded, error) {
 			return Decoded{}, err
 		}
 		return Decoded{Kind: "fork", Fork: &f}, nil
+	case "tree":
+		var t Tree
+		if err := json.Unmarshal(env.Tree, &t); err != nil {
+			return Decoded{}, fmt.Errorf("platform: decoding tree body: %w", err)
+		}
+		if err := t.Validate(); err != nil {
+			return Decoded{}, err
+		}
+		return Decoded{Kind: "tree", Tree: &t}, nil
 	default:
 		return Decoded{}, fmt.Errorf("platform: unknown platform kind %q", env.Kind)
 	}

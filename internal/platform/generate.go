@@ -122,6 +122,39 @@ func (g *Generator) Spider(legs, maxDepth int) Spider {
 	return Spider{Legs: ls}
 }
 
+// Tree draws a random tree with the given maximum depth and branching
+// factor: 1..branch subtrees hang off the master and every node above
+// the depth limit draws 0..branch children, so both the shape and the
+// size vary per draw while staying bounded by branch^depth. Node
+// parameters follow the generator's heterogeneity regime, exactly as
+// for chains and spiders.
+func (g *Generator) Tree(depth, branch int) Tree {
+	if depth < 1 {
+		depth = 1
+	}
+	if branch < 1 {
+		branch = 1
+	}
+	var grow func(d int) TreeNode
+	grow = func(d int) TreeNode {
+		nd := g.Node()
+		n := TreeNode{Comm: nd.Comm, Work: nd.Work}
+		if d < depth {
+			kids := g.rng.Intn(branch + 1)
+			for i := 0; i < kids; i++ {
+				n.Children = append(n.Children, grow(d+1))
+			}
+		}
+		return n
+	}
+	t := Tree{Roots: make([]TreeNode, 0, branch)}
+	roots := 1 + g.rng.Intn(branch)
+	for i := 0; i < roots; i++ {
+		t.Roots = append(t.Roots, grow(1))
+	}
+	return t
+}
+
 // Fork draws a fork with the given number of slaves.
 func (g *Generator) Fork(slaves int) Fork {
 	nodes := make([]Node, slaves)

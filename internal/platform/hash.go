@@ -73,6 +73,60 @@ func HashFork(f Fork) Hash {
 	return HashSpider(f.Spider())
 }
 
+// encodeTreeNode serialises one subtree injectively and canonically:
+// the node's (c, w) pair and child count as fixed-width big-endian,
+// followed by the child encodings sorted by bytes. The count prefix
+// makes every encoding self-delimiting, so the sorted concatenation
+// parses unambiguously; sorting at every level makes the encoding — and
+// therefore HashTree — invariant under any permutation of siblings,
+// the tree analogue of HashSpider's leg-order normalisation.
+func encodeTreeNode(n TreeNode) []byte {
+	encs := make([][]byte, len(n.Children))
+	total := 0
+	for i, c := range n.Children {
+		encs[i] = encodeTreeNode(c)
+		total += len(encs[i])
+	}
+	sort.Slice(encs, func(i, j int) bool { return bytes.Compare(encs[i], encs[j]) < 0 })
+	buf := make([]byte, 0, 24+total)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(n.Comm))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(n.Work))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(n.Children)))
+	for _, e := range encs {
+		buf = append(buf, e...)
+	}
+	return buf
+}
+
+// HashTree returns the canonical fingerprint of the tree. Sibling
+// subtrees are order-normalised at every level, so isomorphic trees
+// (same shape and parameters up to sibling permutation) share a hash —
+// the same guarantee HashSpider gives over legs. A spider-shaped tree
+// hashes as the spider it is (HashTree(TreeFromSpider(sp)) ==
+// HashSpider(sp)); genuinely branchy trees hash under their own domain
+// tag and can never collide with a spider's fingerprint.
+func HashTree(t Tree) Hash {
+	if sp, ok := t.SpiderForm(); ok {
+		return HashSpider(sp)
+	}
+	h := sha256.New()
+	h.Write([]byte("ms-tree/v1"))
+	encs := make([][]byte, len(t.Roots))
+	for i, r := range t.Roots {
+		encs[i] = encodeTreeNode(r)
+	}
+	sort.Slice(encs, func(i, j int) bool { return bytes.Compare(encs[i], encs[j]) < 0 })
+	var cnt [8]byte
+	binary.BigEndian.PutUint64(cnt[:], uint64(len(encs)))
+	h.Write(cnt[:])
+	for _, e := range encs {
+		h.Write(e)
+	}
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
 // Hash returns the fingerprint of whichever platform the decoded file
 // carries.
 func (d Decoded) Hash() Hash {
@@ -81,6 +135,8 @@ func (d Decoded) Hash() Hash {
 		return HashChain(*d.Chain)
 	case "spider":
 		return HashSpider(*d.Spider)
+	case "tree":
+		return HashTree(*d.Tree)
 	default:
 		return HashFork(*d.Fork)
 	}

@@ -350,6 +350,20 @@ func (f Fork) Validate() error {
 	return nil
 }
 
+// HorizonOK reports whether every slave passes Chain.HorizonOK for n
+// tasks, via the spider form the fork solves as.
+func (f Fork) HorizonOK(n int) bool {
+	return f.Spider().HorizonOK(n)
+}
+
+// CheckHorizon is HorizonOK as an error (see Chain.CheckHorizon).
+func (f Fork) CheckHorizon(n int) error {
+	if f.HorizonOK(n) {
+		return nil
+	}
+	return horizonErr(n)
+}
+
 // Spider converts the fork into the equivalent spider with single-node
 // legs, so chain/spider machinery applies uniformly.
 func (f Fork) Spider() Spider {

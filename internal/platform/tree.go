@@ -1,0 +1,235 @@
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// TreeNode is one processor of a Tree: its incoming link latency, its
+// processing time and its children. The JSON shape matches Node (c, w)
+// plus the recursive children list, so tree files stay hand-writable.
+type TreeNode struct {
+	Comm     Time       `json:"c"`
+	Work     Time       `json:"w"`
+	Children []TreeNode `json:"children,omitempty"`
+}
+
+// Tree is a rooted tree of processors whose root is the master — the
+// paper's §8 target beyond spiders. The master itself does no
+// processing, exactly as in chains and spiders; Roots are the subtrees
+// hanging off it.
+type Tree struct {
+	Roots []TreeNode `json:"roots"`
+}
+
+// NumProcs returns the total number of processors.
+func (t Tree) NumProcs() int {
+	count := 0
+	var walk func(n TreeNode)
+	walk = func(n TreeNode) {
+		count++
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r)
+	}
+	return count
+}
+
+// Validate checks the tree is non-empty with admissible nodes.
+func (t Tree) Validate() error {
+	if len(t.Roots) == 0 {
+		return errors.New("tree: no processors")
+	}
+	var walk func(n TreeNode, path string) error
+	walk = func(n TreeNode, path string) error {
+		if n.Comm <= 0 || n.Work <= 0 {
+			return fmt.Errorf("tree: node %s has non-positive parameters (c=%d, w=%d)", path, n.Comm, n.Work)
+		}
+		for i, c := range n.Children {
+			if err := walk(c, fmt.Sprintf("%s.%d", path, i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i, r := range t.Roots {
+		if err := walk(r, fmt.Sprint(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IsSpider reports whether every node below the master has at most one
+// child, i.e. the tree already is a spider.
+func (t Tree) IsSpider() bool {
+	var linear func(n TreeNode) bool
+	linear = func(n TreeNode) bool {
+		if len(n.Children) > 1 {
+			return false
+		}
+		for _, c := range n.Children {
+			if !linear(c) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, r := range t.Roots {
+		if !linear(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two trees are identical node for node,
+// sibling order included (use HashTree equality for isomorphism).
+func (t Tree) Equal(o Tree) bool {
+	var eq func(a, b TreeNode) bool
+	eq = func(a, b TreeNode) bool {
+		if a.Comm != b.Comm || a.Work != b.Work || len(a.Children) != len(b.Children) {
+			return false
+		}
+		for i := range a.Children {
+			if !eq(a.Children[i], b.Children[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if len(t.Roots) != len(o.Roots) {
+		return false
+	}
+	for i := range t.Roots {
+		if !eq(t.Roots[i], o.Roots[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the tree.
+func (t Tree) Clone() Tree {
+	var clone func(n TreeNode) TreeNode
+	clone = func(n TreeNode) TreeNode {
+		out := TreeNode{Comm: n.Comm, Work: n.Work}
+		for _, c := range n.Children {
+			out.Children = append(out.Children, clone(c))
+		}
+		return out
+	}
+	roots := make([]TreeNode, 0, len(t.Roots))
+	for _, r := range t.Roots {
+		roots = append(roots, clone(r))
+	}
+	return Tree{Roots: roots}
+}
+
+// String renders the tree with indentation.
+func (t Tree) String() string {
+	var b strings.Builder
+	b.WriteString("tree{\n")
+	var walk func(n TreeNode, depth int)
+	walk = func(n TreeNode, depth int) {
+		fmt.Fprintf(&b, "%s--%d--> [%d]\n", strings.Repeat("  ", depth+1), n.Comm, n.Work)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r, 0)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// TreeFromSpider embeds a spider as a tree (each leg a unary path).
+func TreeFromSpider(sp Spider) Tree {
+	t := Tree{Roots: make([]TreeNode, 0, sp.NumLegs())}
+	for _, leg := range sp.Legs {
+		var build func(i int) TreeNode
+		build = func(i int) TreeNode {
+			n := TreeNode{Comm: leg.Nodes[i].Comm, Work: leg.Nodes[i].Work}
+			if i+1 < len(leg.Nodes) {
+				n.Children = []TreeNode{build(i + 1)}
+			}
+			return n
+		}
+		t.Roots = append(t.Roots, build(0))
+	}
+	return t
+}
+
+// SpiderForm returns the spider a spider-shaped tree is (each root's
+// unary path one leg) and whether the tree is spider-shaped at all.
+func (t Tree) SpiderForm() (Spider, bool) {
+	if !t.IsSpider() {
+		return Spider{}, false
+	}
+	sp := Spider{Legs: make([]Chain, 0, len(t.Roots))}
+	for _, r := range t.Roots {
+		var nodes []Node
+		for n := &r; ; n = &n.Children[0] {
+			nodes = append(nodes, Node{Comm: n.Comm, Work: n.Work})
+			if len(n.Children) == 0 {
+				break
+			}
+		}
+		sp.Legs = append(sp.Legs, Chain{Nodes: nodes})
+	}
+	return sp, true
+}
+
+// HorizonOK reports whether scheduling n tasks on the tree stays clear
+// of integer overflow, in the sense of Chain.HorizonOK. The check sums
+// (c + w) over the WHOLE tree, which dominates the sum over any
+// downward path — and the tree solvers only ever build chain plans on
+// downward paths (the §8 spider cover), so the bound is sufficient for
+// every arithmetic path while staying one linear walk.
+func (t Tree) HorizonOK(n int) bool {
+	if n <= 0 || len(t.Roots) == 0 {
+		return true
+	}
+	nn := Time(n)
+	if nn >= MaxTime/4 {
+		return false
+	}
+	var sum Time
+	ok := true
+	var walk func(n TreeNode)
+	walk = func(node TreeNode) {
+		if !ok {
+			return
+		}
+		if node.Comm > MaxTime-sum {
+			ok = false
+			return
+		}
+		sum += node.Comm
+		if node.Work > MaxTime-sum {
+			ok = false
+			return
+		}
+		sum += node.Work
+		for _, c := range node.Children {
+			walk(c)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r)
+	}
+	return ok && sum <= MaxTime/(4*(nn+1))
+}
+
+// CheckHorizon is HorizonOK as an error (see Chain.CheckHorizon).
+func (t Tree) CheckHorizon(n int) error {
+	if t.HorizonOK(n) {
+		return nil
+	}
+	return horizonErr(n)
+}

@@ -1,0 +1,142 @@
+package platform
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// shuffleTree returns an isomorphic copy with siblings randomly
+// permuted at every level (roots included).
+func shuffleTree(rng *rand.Rand, t Tree) Tree {
+	var shuffle func(n TreeNode) TreeNode
+	shuffle = func(n TreeNode) TreeNode {
+		out := TreeNode{Comm: n.Comm, Work: n.Work}
+		perm := rng.Perm(len(n.Children))
+		for _, i := range perm {
+			out.Children = append(out.Children, shuffle(n.Children[i]))
+		}
+		return out
+	}
+	res := Tree{}
+	for _, i := range rng.Perm(len(t.Roots)) {
+		res.Roots = append(res.Roots, shuffle(t.Roots[i]))
+	}
+	return res
+}
+
+// TestHashTreeSiblingPermutationInvariant: random sibling permutations
+// at every level never change the fingerprint — the tree analogue of
+// leg-order normalisation.
+func TestHashTreeSiblingPermutationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := MustGenerator(9, 1, 9, Uniform)
+	for trial := 0; trial < 50; trial++ {
+		tr := g.Tree(3, 3)
+		h := HashTree(tr)
+		for p := 0; p < 4; p++ {
+			perm := shuffleTree(rng, tr)
+			if HashTree(perm) != h {
+				t.Fatalf("trial %d: sibling-permuted isomorphic tree changed the hash\n%s\nvs\n%s", trial, tr, perm)
+			}
+		}
+	}
+}
+
+// TestHashTreePerturbationDistinct: any parameter or shape change must
+// move the fingerprint.
+func TestHashTreePerturbationDistinct(t *testing.T) {
+	base := Tree{Roots: []TreeNode{
+		{Comm: 1, Work: 4, Children: []TreeNode{
+			{Comm: 1, Work: 2},
+			{Comm: 2, Work: 3, Children: []TreeNode{{Comm: 1, Work: 1}}},
+		}},
+		{Comm: 3, Work: 2},
+	}}
+	h := HashTree(base)
+
+	perturb := func(name string, mut func(*Tree)) {
+		c := base.Clone()
+		mut(&c)
+		if HashTree(c) == h {
+			t.Errorf("%s: perturbed tree kept the fingerprint", name)
+		}
+	}
+	perturb("comm+1", func(c *Tree) { c.Roots[0].Children[0].Comm++ })
+	perturb("work+1", func(c *Tree) { c.Roots[1].Work++ })
+	perturb("drop leaf", func(c *Tree) { c.Roots[0].Children[1].Children = nil })
+	perturb("drop subtree", func(c *Tree) { c.Roots = c.Roots[:1] })
+	perturb("reparent leaf", func(c *Tree) {
+		// Move the deep leaf one level up: same node multiset,
+		// different shape.
+		leaf := c.Roots[0].Children[1].Children[0]
+		c.Roots[0].Children[1].Children = nil
+		c.Roots[0].Children = append(c.Roots[0].Children, leaf)
+	})
+	perturb("duplicate child", func(c *Tree) {
+		c.Roots[0].Children = append(c.Roots[0].Children, c.Roots[0].Children[0])
+	})
+}
+
+// TestHashTreeSpiderEmbedding: a spider-shaped tree hashes exactly as
+// the spider it embeds, so the tree fingerprint agrees with HashSpider
+// wherever the covering heuristic is exact — and two spider embeddings
+// collide precisely when the spiders themselves are isomorphic.
+func TestHashTreeSpiderEmbedding(t *testing.T) {
+	g := MustGenerator(21, 1, 9, Bimodal)
+	var prev []Spider
+	for trial := 0; trial < 30; trial++ {
+		sp := g.Spider(1+trial%4, 3)
+		tr := TreeFromSpider(sp)
+		if !tr.IsSpider() {
+			t.Fatal("TreeFromSpider must produce a spider-shaped tree")
+		}
+		if HashTree(tr) != HashSpider(sp) {
+			t.Fatalf("trial %d: HashTree(TreeFromSpider(sp)) != HashSpider(sp)", trial)
+		}
+		// Cross-check against every earlier spider: embeddings collide
+		// exactly when the spider hashes do.
+		for i, o := range prev {
+			spEq := HashSpider(o) == HashSpider(sp)
+			trEq := HashTree(TreeFromSpider(o)) == HashTree(tr)
+			if spEq != trEq {
+				t.Fatalf("trial %d vs %d: spider equality %v but embedding equality %v", trial, i, spEq, trEq)
+			}
+		}
+		prev = append(prev, sp)
+	}
+
+	// A genuinely branchy tree must never collide with a spider's hash
+	// (distinct domain tags).
+	branchy := Tree{Roots: []TreeNode{{Comm: 2, Work: 5, Children: []TreeNode{
+		{Comm: 3, Work: 3}, {Comm: 1, Work: 4},
+	}}}}
+	if branchy.IsSpider() {
+		t.Fatal("test premise: branchy must not be a spider")
+	}
+	if HashTree(branchy) == HashSpider(NewSpider(NewChain(2, 5, 3, 3), NewChain(1, 4))) {
+		t.Error("branchy tree collided with a spider fingerprint")
+	}
+}
+
+// TestHashTreeRoundTrip: the fingerprint survives the wire codec.
+func TestHashTreeRoundTrip(t *testing.T) {
+	g := MustGenerator(33, 1, 9, CommBound)
+	for trial := 0; trial < 10; trial++ {
+		tr := g.Tree(3, 2)
+		var buf bytes.Buffer
+		if err := WriteTree(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Kind != "tree" {
+			t.Fatalf("round trip kind %q", dec.Kind)
+		}
+		if dec.Hash() != HashTree(tr) {
+			t.Fatal("fingerprint changed across the wire codec")
+		}
+	}
+}

@@ -52,7 +52,8 @@ func (op Op) valid() bool {
 
 // Request is one /solve query. Platform carries a tagged platform
 // envelope in the msgen/msched file format (platform.Read); chains,
-// spiders and forks are all accepted.
+// spiders, forks and trees are all accepted — every kind in the
+// service's solver-factory registry.
 type Request struct {
 	Platform json.RawMessage `json:"platform"`
 	Op       Op              `json:"op"`
@@ -143,6 +144,17 @@ func NewSpiderRequest(sp platform.Spider, op Op, n int, deadline platform.Time) 
 func NewForkRequest(f platform.Fork, op Op, n int, deadline platform.Time) (*Request, error) {
 	var buf bytes.Buffer
 	if err := platform.WriteFork(&buf, f); err != nil {
+		return nil, err
+	}
+	return &Request{Platform: buf.Bytes(), Op: op, N: n, Deadline: deadline}, nil
+}
+
+// NewTreeRequest builds a /solve request for a tree. Responses carry
+// schedules expressed on the tree's §8 covering spider (uncovered
+// processors idle), exactly like repro.ScheduleTree.
+func NewTreeRequest(t platform.Tree, op Op, n int, deadline platform.Time) (*Request, error) {
+	var buf bytes.Buffer
+	if err := platform.WriteTree(&buf, t); err != nil {
 		return nil, err
 	}
 	return &Request{Platform: buf.Bytes(), Op: op, N: n, Deadline: deadline}, nil

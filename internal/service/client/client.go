@@ -98,6 +98,28 @@ func (c *Client) MinMakespanChain(ctx context.Context, ch platform.Chain, n int,
 	return c.Do(ctx, req)
 }
 
+// MinMakespanTree asks for the §8 covering heuristic's makespan of n
+// tasks on the tree; withSchedule also fetches a schedule achieving it,
+// expressed on the covering spider.
+func (c *Client) MinMakespanTree(ctx context.Context, t platform.Tree, n int, withSchedule bool) (*service.Response, error) {
+	req, err := service.NewTreeRequest(t, service.OpMinMakespan, n, 0)
+	if err != nil {
+		return nil, err
+	}
+	req.IncludeSchedule = withSchedule
+	return c.Do(ctx, req)
+}
+
+// MaxTasksTree asks how many of at most n tasks the covering heuristic
+// completes on the tree within the deadline.
+func (c *Client) MaxTasksTree(ctx context.Context, t platform.Tree, n int, deadline platform.Time) (*service.Response, error) {
+	req, err := service.NewTreeRequest(t, service.OpMaxTasks, n, deadline)
+	if err != nil {
+		return nil, err
+	}
+	return c.Do(ctx, req)
+}
+
 // MaxTasksSpider asks how many of at most n tasks complete on the
 // spider within the deadline.
 func (c *Client) MaxTasksSpider(ctx context.Context, sp platform.Spider, n int, deadline platform.Time) (*service.Response, error) {

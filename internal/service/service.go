@@ -12,10 +12,8 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/platform"
 	"repro/internal/sched"
-	"repro/internal/spider"
 )
 
 // Config sizes the service.
@@ -74,13 +72,13 @@ func New(cfg Config) *Service {
 }
 
 // ckey is the cache key: the canonical fingerprint plus the solver
-// kind. The kind matters because a chain and its one-leg spider share
-// a fingerprint by design but are answered by different engines
-// (core.Incremental vs spider.Solver) whose optimal schedules — and
-// wire envelopes — legitimately differ; forks normalise to the spider
-// kind, so a fork and its spider form still share one warmed solver.
+// kind (kindHandler.solverKind). The kind matters because a chain and
+// its one-leg spider share a fingerprint by design but are answered by
+// different engines whose optimal schedules — and wire envelopes —
+// legitimately differ; forks normalise to the spider kind, so a fork
+// and its spider form still share one warmed solver.
 type ckey struct {
-	kind string // "chain" | "spider"
+	kind string // "chain" | "spider" | "tree"
 	hash platform.Hash
 }
 
@@ -120,18 +118,16 @@ type construction struct {
 	err  error
 }
 
-// entry is one warmed solver. Exactly one of inc (chains) and solver
-// (spiders and forks, in first-seen leg order) is set, matching the
-// cache key's kind; neither is safe for concurrent use, so answers
-// serialise on mu. memo caches the scalar result of every query already
-// answered by this solver, so an exact repeat skips even the warm
-// binary search.
+// entry is one warmed solver: the backend the kind registry constructed
+// for the platform (in first-seen numbering). Backends are not safe for
+// concurrent use, so answers serialise on mu. memo caches the scalar
+// result of every query already answered by this solver, so an exact
+// repeat skips even the warm binary search.
 type entry struct {
-	key    ckey
-	mu     sync.Mutex
-	inc    *core.Incremental
-	solver *spider.Solver
-	memo   map[memoKey]memoVal
+	key  ckey
+	mu   sync.Mutex
+	be   backend
+	memo map[memoKey]memoVal
 }
 
 // memoKey identifies one scalar query against a warmed solver. The
@@ -170,12 +166,15 @@ func memoKeyFor(q *query) (memoKey, bool) {
 	return k, true
 }
 
-// query is a parsed, validated request.
+// query is a parsed, validated request. The kind handler's prepare
+// fills exactly the platform field matching the solver kind.
 type query struct {
 	req       *Request
-	key       ckey            // forks normalised to the spider kind
+	key       ckey            // cache key: solver kind (forks → spider) + fingerprint
+	h         *kindHandler    // the wire kind's registry entry
 	chain     platform.Chain  // chain kind
 	sp        platform.Spider // spider kind, request leg order
+	tr        platform.Tree   // tree kind, request sibling order
 	flightKey string
 }
 
@@ -194,24 +193,16 @@ func (s *Service) parse(req *Request) (*query, error) {
 	if err != nil {
 		return nil, fmt.Errorf("service: %w", err)
 	}
-	q := &query{req: req, key: ckey{hash: dec.Hash()}}
-	horizonN := max(req.N, 1)
-	var horizonErr error
-	var literal []byte
-	switch dec.Kind {
-	case "chain":
-		q.key.kind, q.chain = "chain", *dec.Chain
-		horizonErr = q.chain.CheckHorizon(horizonN)
-		literal, err = json.Marshal(dec.Chain)
-	case "spider":
-		q.key.kind, q.sp = "spider", *dec.Spider
-		horizonErr = q.sp.CheckHorizon(horizonN)
-		literal, err = json.Marshal(dec.Spider)
-	default: // fork
-		q.key.kind, q.sp = "spider", dec.Fork.Spider()
-		horizonErr = q.sp.CheckHorizon(horizonN)
-		literal, err = json.Marshal(q.sp)
+	h, ok := kindRegistry[dec.Kind]
+	if !ok {
+		// platform.Read rejects unknown kinds, so an unregistered kind
+		// here means a handler was never written for a decodable
+		// platform — a service bug, not a client one.
+		return nil, fmt.Errorf("%w: no solver registered for platform kind %q", ErrInternal, dec.Kind)
 	}
+	q := &query{req: req, h: h, key: ckey{kind: h.solverKind, hash: dec.Hash()}}
+	litVal, horizonErr := h.prepare(q, dec, max(req.N, 1))
+	literal, err := json.Marshal(litVal)
 	if err != nil {
 		return nil, fmt.Errorf("service: encoding platform: %w", err)
 	}
@@ -331,7 +322,7 @@ func (s *Service) solveLeading(q *query) (*Response, error) {
 		defer func() { <-s.sem }()
 		start := time.Now()
 		defer func() { solveNs = time.Since(start).Nanoseconds() }()
-		sol, err := e.answer(q)
+		sol, err := e.be.answer(q)
 		if err == nil && memoable {
 			if e.memo == nil {
 				e.memo = make(map[memoKey]memoVal)
@@ -374,20 +365,11 @@ func (s *Service) construct(q *query) (e *entry, err error) {
 	if hook := s.testHookBuild; hook != nil {
 		hook()
 	}
-	e = &entry{key: q.key}
-	if q.key.kind == "chain" {
-		inc, err := core.NewIncremental(q.chain)
-		if err != nil {
-			return nil, err
-		}
-		e.inc = inc
-	} else {
-		solver, err := spider.NewSolver(q.sp)
-		if err != nil {
-			return nil, err
-		}
-		e.solver = solver
+	be, err := q.h.construct(q)
+	if err != nil {
+		return nil, err
 	}
+	e = &entry{key: q.key, be: be}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.Constructions++
@@ -407,88 +389,6 @@ type solved struct {
 	makespan    platform.Time
 	chainSched  *sched.ChainSchedule
 	spiderSched *sched.SpiderSchedule
-}
-
-// answer runs the query against the warmed solver. Callers hold e.mu.
-func (e *entry) answer(q *query) (*solved, error) {
-	n, dl, wantSched := q.req.N, q.req.Deadline, q.req.IncludeSchedule
-	sol := &solved{}
-	if e.inc != nil {
-		switch q.req.Op {
-		case OpMinMakespan:
-			sch, err := e.inc.Schedule(n)
-			if err != nil {
-				return nil, err
-			}
-			sol.tasks, sol.makespan = sch.Len(), sch.Makespan()
-			if wantSched {
-				sol.chainSched = sch
-			}
-		case OpMaxTasks:
-			if wantSched {
-				// One solve serves both: the schedule's length IS the count.
-				sch, err := e.inc.ScheduleWithin(n, dl)
-				if err != nil {
-					return nil, err
-				}
-				sol.tasks, sol.chainSched = sch.Len(), sch
-			} else {
-				sol.tasks = e.inc.FitWithin(n, dl)
-			}
-		case OpScheduleWithin:
-			sch, err := e.inc.ScheduleWithin(n, dl)
-			if err != nil {
-				return nil, err
-			}
-			sol.tasks, sol.makespan = sch.Len(), sch.Makespan()
-			if wantSched {
-				sol.chainSched = sch
-			}
-		}
-		return sol, nil
-	}
-
-	switch q.req.Op {
-	case OpMinMakespan:
-		mk, sch, err := e.solver.MinMakespan(n)
-		if err != nil {
-			return nil, err
-		}
-		sol.tasks, sol.makespan = sch.Len(), mk
-		if wantSched {
-			sol.spiderSched = sch
-		}
-	case OpMaxTasks:
-		if wantSched {
-			// One solve serves both: the schedule's length IS the count.
-			sch, err := e.solver.ScheduleWithin(n, dl)
-			if err != nil {
-				return nil, err
-			}
-			sol.tasks, sol.spiderSched = sch.Len(), sch
-		} else {
-			k, err := e.solver.MaxTasks(n, dl)
-			if err != nil {
-				return nil, err
-			}
-			sol.tasks = k
-		}
-	case OpScheduleWithin:
-		sch, err := e.solver.ScheduleWithin(n, dl)
-		if err != nil {
-			return nil, err
-		}
-		sol.tasks, sol.makespan = sch.Len(), sch.Makespan()
-		if wantSched {
-			sol.spiderSched = sch
-		}
-	}
-	if sol.spiderSched != nil {
-		if err := remapLegs(sol.spiderSched, e.solver.Spider(), q.sp); err != nil {
-			return nil, err
-		}
-	}
-	return sol, nil
 }
 
 // remapLegs rewrites a schedule produced on the cached spider (first-

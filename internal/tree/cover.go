@@ -1,13 +1,10 @@
 package tree
 
 import (
-	"fmt"
 	"math/big"
 
 	"repro/internal/baseline"
 	"repro/internal/platform"
-	"repro/internal/sched"
-	"repro/internal/spider"
 )
 
 // Cover is a spider extracted from a tree: one downward path per root
@@ -20,10 +17,18 @@ type Cover struct {
 }
 
 // SpiderCover extracts the covering spider suggested by §8: for every
-// subtree hanging off the master, keep the single downward path with the
-// highest steady-state rate (ties: the shorter, then first-found path).
-// Only covered nodes are used by the scheduling heuristic; the remaining
-// nodes idle, which keeps every produced schedule feasible on the tree.
+// subtree hanging off the master, keep the single downward path with
+// the highest steady-state rate (ties: the longer, then the
+// lexicographically smallest (c, w) sequence). Only covered nodes are
+// used by the scheduling heuristic; the remaining nodes idle, which
+// keeps every produced schedule feasible on the tree.
+//
+// The tie-breaks make the chosen chain a function of the subtree's set
+// of downward paths, not of sibling order — so isomorphic trees
+// (sibling-permuted, sharing a platform.HashTree fingerprint) yield
+// covers with equal leg multisets. The scheduling service relies on
+// this to remap one warmed tree solver's schedules onto any isomorphic
+// requester.
 func SpiderCover(t Tree) (*Cover, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
@@ -37,10 +42,29 @@ func SpiderCover(t Tree) (*Cover, error) {
 	return cov, nil
 }
 
+// chainLess orders chains by length, then element-wise (Comm, Work):
+// the canonical order bestPath breaks exact rate ties with.
+func chainLess(a, b platform.Chain) bool {
+	if len(a.Nodes) != len(b.Nodes) {
+		return len(a.Nodes) < len(b.Nodes)
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i].Comm != b.Nodes[i].Comm {
+			return a.Nodes[i].Comm < b.Nodes[i].Comm
+		}
+		if a.Nodes[i].Work != b.Nodes[i].Work {
+			return a.Nodes[i].Work < b.Nodes[i].Work
+		}
+	}
+	return false
+}
+
 // bestPath returns the downward path from root with the maximal chain
-// steady-state rate. Ties prefer the longer path: extending a chain
+// steady-state rate. Ties prefer the longer path — extending a chain
 // never lowers its rate, and the optimal spider scheduler can always
-// ignore surplus tail processors, so extra coverage is free.
+// ignore surplus tail processors, so extra coverage is free — then the
+// lexicographically smallest node sequence, making the choice
+// order-canonical (see SpiderCover).
 func bestPath(root Node) (platform.Chain, []int) {
 	var (
 		bestChain platform.Chain
@@ -53,8 +77,11 @@ func bestPath(root Node) (platform.Chain, []int) {
 		candidate := platform.Chain{Nodes: nodes}
 		rate, err := baseline.ChainRate(candidate)
 		if err == nil {
-			better := bestRate == nil || rate.Cmp(bestRate) > 0 ||
-				(rate.Cmp(bestRate) == 0 && len(nodes) > bestChain.Len())
+			better := bestRate == nil || rate.Cmp(bestRate) > 0
+			if !better && rate.Cmp(bestRate) == 0 {
+				better = len(nodes) > bestChain.Len() ||
+					(len(nodes) == bestChain.Len() && chainLess(candidate, bestChain))
+			}
 			if better {
 				bestChain = candidate.Clone()
 				bestPath = append([]int(nil), path...)
@@ -67,24 +94,4 @@ func bestPath(root Node) (platform.Chain, []int) {
 	}
 	walk(root, nil, nil)
 	return bestChain, bestPath
-}
-
-// Schedule schedules n tasks on the tree with the covering heuristic:
-// optimal spider scheduling (Theorem 3) restricted to the covered paths.
-// The result is the makespan, the schedule expressed on the covering
-// spider and the cover itself. The heuristic is exact whenever the tree
-// already is a spider (the cover is then the whole tree).
-func Schedule(t Tree, n int) (platform.Time, *sched.SpiderSchedule, *Cover, error) {
-	cov, err := SpiderCover(t)
-	if err != nil {
-		return 0, nil, nil, err
-	}
-	if n == 0 {
-		return 0, &sched.SpiderSchedule{Spider: cov.Spider}, cov, nil
-	}
-	mk, s, err := spider.MinMakespan(cov.Spider, n)
-	if err != nil {
-		return 0, nil, nil, fmt.Errorf("tree: scheduling cover: %w", err)
-	}
-	return mk, s, cov, nil
 }

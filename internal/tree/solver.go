@@ -1,0 +1,106 @@
+package tree
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/spider"
+)
+
+// Solver answers repeated scheduling queries on one tree. It caches the
+// §8 spider cover and the warmed inner spider solver, so the cover
+// extraction (steady-state rates over every downward path) and the
+// per-leg backward constructions are paid once and amortised across all
+// queries that follow — the same reuse pattern spider.Solver gives the
+// scheduling service for spiders.
+//
+// Every schedule a Solver produces is expressed on the covering spider
+// (uncovered processors idle), so it is feasible on the tree as-is and
+// exact whenever the tree already is a spider. The Solver is also the
+// designated seam for tree-native scheduling: when the recursive
+// virtual-slave transformation over subtrees lands (ROADMAP), it
+// replaces the cover + inner-solver pair behind this same interface and
+// every caller — facade, service, tools — picks it up unchanged.
+//
+// A Solver is not safe for concurrent use; independent Solvers are.
+type Solver struct {
+	t     platform.Tree
+	cov   *Cover
+	inner *spider.Solver
+}
+
+// NewSolver validates the tree, extracts its spider cover and prepares
+// the warmed inner solver.
+func NewSolver(t platform.Tree) (*Solver, error) {
+	cov, err := SpiderCover(t)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := spider.NewSolver(cov.Spider)
+	if err != nil {
+		return nil, fmt.Errorf("tree: cover solver: %w", err)
+	}
+	return &Solver{t: t, cov: cov, inner: inner}, nil
+}
+
+// Tree returns the platform the solver schedules on.
+func (s *Solver) Tree() platform.Tree { return s.t }
+
+// Cover returns the cached spider cover the schedules are expressed on.
+func (s *Solver) Cover() *Cover { return s.cov }
+
+// Stats returns the inner spider solver's cumulative probe telemetry.
+func (s *Solver) Stats() spider.ProbeStats { return s.inner.Stats() }
+
+// MinMakespan returns the covering heuristic's makespan for n tasks
+// together with a schedule achieving it on the covering spider.
+func (s *Solver) MinMakespan(n int) (platform.Time, *sched.SpiderSchedule, error) {
+	mk, sch, err := s.inner.MinMakespan(n)
+	if err != nil {
+		return 0, nil, fmt.Errorf("tree: scheduling cover: %w", err)
+	}
+	return mk, sch, nil
+}
+
+// MaxTasks returns how many of at most n tasks the covering heuristic
+// completes within the deadline.
+func (s *Solver) MaxTasks(n int, deadline platform.Time) (int, error) {
+	k, err := s.inner.MaxTasks(n, deadline)
+	if err != nil {
+		return 0, fmt.Errorf("tree: scheduling cover: %w", err)
+	}
+	return k, nil
+}
+
+// ScheduleWithin schedules as many tasks as possible — at most n — on
+// the covering spider within the deadline.
+func (s *Solver) ScheduleWithin(n int, deadline platform.Time) (*sched.SpiderSchedule, error) {
+	sch, err := s.inner.ScheduleWithin(n, deadline)
+	if err != nil {
+		return nil, fmt.Errorf("tree: scheduling cover: %w", err)
+	}
+	return sch, nil
+}
+
+// Schedule schedules n tasks on the tree with the covering heuristic:
+// optimal spider scheduling (Theorem 3) restricted to the covered
+// paths. The result is the makespan, the schedule expressed on the
+// covering spider and the cover itself. The heuristic is exact whenever
+// the tree already is a spider (the cover is then the whole tree).
+// One-shot callers pay the full solver construction; keep a Solver for
+// repeated queries.
+func Schedule(t Tree, n int) (platform.Time, *sched.SpiderSchedule, *Cover, error) {
+	s, err := NewSolver(t)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if n == 0 {
+		return 0, &sched.SpiderSchedule{Spider: s.cov.Spider}, s.cov, nil
+	}
+	mk, sch, err := s.MinMakespan(n)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return mk, sch, s.cov, nil
+}

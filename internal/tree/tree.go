@@ -2,244 +2,46 @@
 // long-term objective (§8): scheduling on general trees of processors
 // "by covering those graphs with simpler structures".
 //
-// It provides:
+// The Tree platform type itself lives in internal/platform (aliased
+// here), alongside chains, spiders and forks, so the wire envelope,
+// the canonical fingerprint (platform.HashTree) and the uniform
+// Kind/Hash/Throughput/LowerBound method set treat all four topologies
+// alike. This package holds the scheduling machinery on top:
 //
-//   - the Tree platform (every node one-port in and out, like the rest
-//     of the model);
-//   - the exact steady-state throughput of a tree (the bandwidth-centric
-//     recursion of [2]: a fractional knapsack over each node's send
-//     port);
 //   - SpiderCover: the covering heuristic the paper suggests — keep, for
 //     each subtree hanging off the master, the downward path with the
 //     best steady-state rate, then schedule the resulting spider
 //     optimally with the §7 algorithm;
+//   - Solver: a warmed solver caching the cover and the inner spider
+//     solver, so repeated queries on one tree (the scheduling service's
+//     traffic pattern) pay the cover extraction and the per-leg
+//     backward constructions once. It is also the seam where a
+//     tree-native scheduler (recursing the virtual-slave transformation
+//     over subtrees) later swaps in without touching any caller;
 //   - an exact exhaustive oracle for small trees (brute.go), so the
 //     covering heuristic's gap can be measured rather than guessed.
 package tree
 
 import (
-	"errors"
-	"fmt"
 	"math/big"
-	"sort"
-	"strings"
 
 	"repro/internal/platform"
 )
 
-// Node is one processor of the tree: its incoming link latency, its
-// processing time and its children.
-type Node struct {
-	Comm     platform.Time `json:"c"`
-	Work     platform.Time `json:"w"`
-	Children []Node        `json:"children,omitempty"`
-}
+// Node is one processor of the tree (alias of platform.TreeNode).
+type Node = platform.TreeNode
 
-// Tree is a rooted tree of processors whose root is the master (the
-// master itself does no processing, exactly as in chains and spiders).
-type Tree struct {
-	Roots []Node `json:"roots"`
-}
-
-// NumProcs returns the total number of processors.
-func (t Tree) NumProcs() int {
-	count := 0
-	var walk func(n Node)
-	walk = func(n Node) {
-		count++
-		for _, c := range n.Children {
-			walk(c)
-		}
-	}
-	for _, r := range t.Roots {
-		walk(r)
-	}
-	return count
-}
-
-// Validate checks the tree is non-empty with admissible nodes.
-func (t Tree) Validate() error {
-	if len(t.Roots) == 0 {
-		return errors.New("tree: no processors")
-	}
-	var walk func(n Node, path string) error
-	walk = func(n Node, path string) error {
-		if n.Comm <= 0 || n.Work <= 0 {
-			return fmt.Errorf("tree: node %s has non-positive parameters (c=%d, w=%d)", path, n.Comm, n.Work)
-		}
-		for i, c := range n.Children {
-			if err := walk(c, fmt.Sprintf("%s.%d", path, i)); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	for i, r := range t.Roots {
-		if err := walk(r, fmt.Sprint(i)); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// IsSpider reports whether every node below the master has at most one
-// child, i.e. the tree already is a spider.
-func (t Tree) IsSpider() bool {
-	var linear func(n Node) bool
-	linear = func(n Node) bool {
-		if len(n.Children) > 1 {
-			return false
-		}
-		for _, c := range n.Children {
-			if !linear(c) {
-				return false
-			}
-		}
-		return true
-	}
-	for _, r := range t.Roots {
-		if !linear(r) {
-			return false
-		}
-	}
-	return true
-}
-
-// String renders the tree with indentation.
-func (t Tree) String() string {
-	var b strings.Builder
-	b.WriteString("tree{\n")
-	var walk func(n Node, depth int)
-	walk = func(n Node, depth int) {
-		fmt.Fprintf(&b, "%s--%d--> [%d]\n", strings.Repeat("  ", depth+1), n.Comm, n.Work)
-		for _, c := range n.Children {
-			walk(c, depth+1)
-		}
-	}
-	for _, r := range t.Roots {
-		walk(r, 0)
-	}
-	b.WriteString("}")
-	return b.String()
-}
+// Tree is a rooted tree of processors (alias of platform.Tree).
+type Tree = platform.Tree
 
 // FromSpider embeds a spider as a tree (each leg a unary path).
-func FromSpider(sp platform.Spider) Tree {
-	t := Tree{Roots: make([]Node, 0, sp.NumLegs())}
-	for _, leg := range sp.Legs {
-		var build func(i int) Node
-		build = func(i int) Node {
-			n := Node{Comm: leg.Nodes[i].Comm, Work: leg.Nodes[i].Work}
-			if i+1 < len(leg.Nodes) {
-				n.Children = []Node{build(i + 1)}
-			}
-			return n
-		}
-		t.Roots = append(t.Roots, build(0))
-	}
-	return t
-}
+func FromSpider(sp platform.Spider) Tree { return platform.TreeFromSpider(sp) }
 
-// Rate returns the exact steady-state task throughput of the tree: the
-// recursion of [2] where each node's send port is a fractional knapsack
-// over its children,
-//
-//	X(node) = min(1/c, 1/w + Y(children)),
-//	Y(children) = max Σ r_b  s.t.  Σ r_b·c_b ≤ 1, 0 ≤ r_b ≤ X(child b),
-//
-// and the master contributes Y over its roots. For unary trees this
-// reduces to the chain recursion, for depth-1 trees to the spider
-// bandwidth-centric allocation.
-func Rate(t Tree) (*big.Rat, error) {
-	if err := t.Validate(); err != nil {
-		return nil, err
-	}
-	var nodeRate func(n Node) *big.Rat
-	nodeRate = func(n Node) *big.Rat {
-		y := portKnapsack(n.Children, nodeRate)
-		// X = min(1/c, 1/w + y).
-		withWork := new(big.Rat).Add(new(big.Rat).SetFrac64(1, int64(n.Work)), y)
-		linkCap := new(big.Rat).SetFrac64(1, int64(n.Comm))
-		if withWork.Cmp(linkCap) < 0 {
-			return withWork
-		}
-		return linkCap
-	}
-	return portKnapsack(t.Roots, nodeRate), nil
-}
-
-// portKnapsack solves the one-port fractional knapsack: children sorted
-// by ascending link latency are saturated greedily within a unit port
-// budget.
-func portKnapsack(children []Node, nodeRate func(Node) *big.Rat) *big.Rat {
-	type item struct {
-		c    int64
-		rate *big.Rat
-	}
-	items := make([]item, 0, len(children))
-	for _, ch := range children {
-		items = append(items, item{c: int64(ch.Comm), rate: nodeRate(ch)})
-	}
-	sort.Slice(items, func(i, j int) bool { return items[i].c < items[j].c })
-	total := new(big.Rat)
-	budget := new(big.Rat).SetInt64(1)
-	for _, it := range items {
-		if budget.Sign() <= 0 {
-			break
-		}
-		byPort := new(big.Rat).Quo(budget, new(big.Rat).SetInt64(it.c))
-		r := it.rate
-		if byPort.Cmp(r) < 0 {
-			r = byPort
-		}
-		total.Add(total, r)
-		budget.Sub(budget, new(big.Rat).Mul(r, new(big.Rat).SetInt64(it.c)))
-	}
-	return total
-}
+// Rate returns the exact steady-state task rate of the tree
+// (platform.Tree.Throughput: the recursive one-port bandwidth-centric
+// allocation).
+func Rate(t Tree) (*big.Rat, error) { return t.Throughput() }
 
 // LowerBound returns a proven lower bound on the optimal makespan of n
-// tasks on the tree: ⌈n / Rate⌉, raised to the fastest solo path
-// completion when larger.
-func LowerBound(t Tree, n int) (platform.Time, error) {
-	if err := t.Validate(); err != nil {
-		return 0, err
-	}
-	if n <= 0 {
-		return 0, nil
-	}
-	rate, err := Rate(t)
-	if err != nil {
-		return 0, err
-	}
-	// ⌈n/rate⌉ = ⌈n·denom/num⌉.
-	num := new(big.Int).Mul(big.NewInt(int64(n)), rate.Denom())
-	quo, rem := new(big.Int).QuoRem(num, rate.Num(), new(big.Int))
-	if rem.Sign() != 0 {
-		quo.Add(quo, big.NewInt(1))
-	}
-	lb := platform.Time(quo.Int64())
-	if solo := bestSolo(t); solo > lb {
-		lb = solo
-	}
-	return lb, nil
-}
-
-// bestSolo returns the fastest single-task completion over all nodes.
-func bestSolo(t Tree) platform.Time {
-	best := platform.MaxTime
-	var walk func(n Node, pathComm platform.Time)
-	walk = func(n Node, pathComm platform.Time) {
-		arrive := pathComm + n.Comm
-		if done := arrive + n.Work; done < best {
-			best = done
-		}
-		for _, c := range n.Children {
-			walk(c, arrive)
-		}
-	}
-	for _, r := range t.Roots {
-		walk(r, 0)
-	}
-	return best
-}
+// tasks on the tree (platform.Tree.LowerBound).
+func LowerBound(t Tree, n int) (platform.Time, error) { return t.LowerBound(n) }

@@ -4,7 +4,16 @@
 // heterogeneous processor chains and spider graphs, under one-port
 // communication with communication/computation overlap.
 //
-// The facade re-exports the platform model and the paper's algorithms:
+// The public API is built around two interfaces: Platform — the
+// uniform surface Chain, Spider, Fork and Tree all implement (Kind,
+// Hash, Throughput, LowerBound, Validate) — and Solver, a warmed
+// per-platform engine obtained via NewSolver that answers MinMakespan,
+// MaxTasks and ScheduleWithin queries, amortising the expensive
+// backward constructions (and, for trees, the §8 spider cover) across
+// calls. One code path serves all four topologies; see ExamplePlatform.
+//
+// The historical per-topology functions remain as thin wrappers over
+// the same engines:
 //
 //   - ScheduleChain: the O(n·p²) backward construction of §3 (Fig. 3),
 //     makespan-optimal on chains (Theorem 1);
@@ -14,6 +23,8 @@
 //     graphs, optimal by Theorem 3, built on the fork-graph machinery of
 //     Beaumont et al. recalled in §6;
 //   - ForkMinMakespan / ForkMaxTasks: the §6 fork-graph comparator;
+//   - ScheduleTree (tree.go): the §8 covering heuristic for general
+//     trees;
 //   - lower bounds and exact steady-state throughputs from the
 //     divisible-load relaxation;
 //   - Gantt rendering of any schedule.
@@ -100,71 +111,87 @@ func HashSpider(sp Spider) PlatformHash { return platform.HashSpider(sp) }
 // its spider form).
 func HashFork(f Fork) PlatformHash { return platform.HashFork(f) }
 
+// HashTree returns the canonical fingerprint of the tree,
+// order-normalised over siblings at every level; a spider-shaped tree
+// hashes as the spider it is.
+func HashTree(t Tree) PlatformHash { return platform.HashTree(t) }
+
 // ScheduleChain returns a makespan-optimal schedule of n tasks on the
 // chain (Theorem 1), starting at time 0.
 func ScheduleChain(ch Chain, n int) (*ChainSchedule, error) {
-	return core.Schedule(ch, n)
+	s, err := core.Schedule(ch, n)
+	return s, wrapKindErr("chain", err)
 }
 
 // ScheduleChainWithin schedules as many tasks as possible — at most n —
 // completing within [0, deadline] (the §7 deadline variant; optimal in
 // task count).
 func ScheduleChainWithin(ch Chain, n int, deadline Time) (*ChainSchedule, error) {
-	return core.ScheduleWithin(ch, n, deadline)
+	s, err := core.ScheduleWithin(ch, n, deadline)
+	return s, wrapKindErr("chain", err)
 }
 
 // ScheduleSpider returns a makespan-optimal schedule of n tasks on the
 // spider (Theorem 3).
 func ScheduleSpider(sp Spider, n int) (*SpiderSchedule, error) {
-	return spider.Schedule(sp, n)
+	s, err := spider.Schedule(sp, n)
+	return s, wrapKindErr("spider", err)
 }
 
 // ScheduleSpiderWithin schedules as many tasks as possible — at most n —
 // on the spider within the deadline (Theorem 3).
 func ScheduleSpiderWithin(sp Spider, n int, deadline Time) (*SpiderSchedule, error) {
-	return spider.ScheduleWithin(sp, n, deadline)
+	s, err := spider.ScheduleWithin(sp, n, deadline)
+	return s, wrapKindErr("spider", err)
 }
 
 // SpiderMinMakespan returns the optimal makespan for n tasks on the
 // spider together with a schedule achieving it.
 func SpiderMinMakespan(sp Spider, n int) (Time, *SpiderSchedule, error) {
-	return spider.MinMakespan(sp, n)
+	mk, s, err := spider.MinMakespan(sp, n)
+	return mk, s, wrapKindErr("spider", err)
 }
 
 // ForkMinMakespan returns the optimal makespan for n tasks on a fork
 // graph together with a schedule achieving it (§6, after [2]).
 func ForkMinMakespan(f Fork, n int) (Time, *SpiderSchedule, error) {
-	return fork.MinMakespan(f, n)
+	mk, s, err := fork.MinMakespan(f, n)
+	return mk, s, wrapKindErr("fork", err)
 }
 
 // ForkMaxTasks returns how many of at most n tasks complete on the fork
 // within the deadline.
 func ForkMaxTasks(f Fork, n int, deadline Time) (int, error) {
-	return fork.MaxTasks(f, n, deadline)
+	k, err := fork.MaxTasks(f, n, deadline)
+	return k, wrapKindErr("fork", err)
 }
 
 // ChainThroughput returns the exact steady-state task rate of the chain
 // (the divisible-load relaxation; see internal/baseline).
 func ChainThroughput(ch Chain) (*big.Rat, error) {
-	return baseline.ChainRate(ch)
+	r, err := baseline.ChainRate(ch)
+	return r, wrapKindErr("chain", err)
 }
 
 // SpiderThroughput returns the exact steady-state task rate of the
 // spider under the master's one-port constraint (the bandwidth-centric
 // allocation of [2]).
 func SpiderThroughput(sp Spider) (*big.Rat, error) {
-	return baseline.SpiderRate(sp)
+	r, err := baseline.SpiderRate(sp)
+	return r, wrapKindErr("spider", err)
 }
 
 // ChainLowerBound returns a proven lower bound on the optimal makespan
 // of n tasks on the chain (steady-state rate plus startup latency).
 func ChainLowerBound(ch Chain, n int) (Time, error) {
-	return baseline.LowerBoundChain(ch, n)
+	lb, err := baseline.LowerBoundChain(ch, n)
+	return lb, wrapKindErr("chain", err)
 }
 
 // SpiderLowerBound is ChainLowerBound for spiders.
 func SpiderLowerBound(sp Spider, n int) (Time, error) {
-	return baseline.LowerBoundSpider(sp, n)
+	lb, err := baseline.LowerBoundSpider(sp, n)
+	return lb, wrapKindErr("spider", err)
 }
 
 // GanttASCII renders occupation intervals as a terminal Gantt chart;

@@ -1,0 +1,121 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/spider"
+	"repro/internal/tree"
+)
+
+// chainSolver answers chain queries from one warmed core.Incremental:
+// the single horizon-0 backward construction answers every (n,
+// deadline) query by shift + binary search.
+type chainSolver struct {
+	ch  Chain
+	inc *core.Incremental
+}
+
+func (s *chainSolver) Platform() Platform { return s.ch }
+
+func (s *chainSolver) MinMakespan(n int) (Time, Schedule, error) {
+	if n < 1 {
+		return 0, nil, fmt.Errorf("chain: task count %d is not positive", n)
+	}
+	sch, err := s.inc.Schedule(n)
+	if err != nil {
+		return 0, nil, wrapKindErr("chain", err)
+	}
+	return sch.Makespan(), sch, nil
+}
+
+func (s *chainSolver) MaxTasks(n int, deadline Time) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("chain: negative task count %d", n)
+	}
+	if deadline < 0 {
+		return 0, fmt.Errorf("chain: negative deadline %d", deadline)
+	}
+	return s.inc.FitWithin(n, deadline), nil
+}
+
+func (s *chainSolver) ScheduleWithin(n int, deadline Time) (Schedule, error) {
+	sch, err := s.inc.ScheduleWithin(n, deadline)
+	if err != nil {
+		return nil, wrapKindErr("chain", err)
+	}
+	return sch, nil
+}
+
+func (s *chainSolver) Stats() SolverStats { return SolverStats{} }
+
+// spiderSolver answers spider and fork queries from one warmed
+// spider.Solver; forks solve as their spider form, so the returned
+// schedules are expressed on single-node legs.
+type spiderSolver struct {
+	p    Platform
+	kind string // "spider" | "fork": the error prefix
+	s    *spider.Solver
+}
+
+func (s *spiderSolver) Platform() Platform { return s.p }
+
+func (s *spiderSolver) MinMakespan(n int) (Time, Schedule, error) {
+	mk, sch, err := s.s.MinMakespan(n)
+	if err != nil {
+		return 0, nil, wrapKindErr(s.kind, err)
+	}
+	return mk, sch, nil
+}
+
+func (s *spiderSolver) MaxTasks(n int, deadline Time) (int, error) {
+	k, err := s.s.MaxTasks(n, deadline)
+	if err != nil {
+		return 0, wrapKindErr(s.kind, err)
+	}
+	return k, nil
+}
+
+func (s *spiderSolver) ScheduleWithin(n int, deadline Time) (Schedule, error) {
+	sch, err := s.s.ScheduleWithin(n, deadline)
+	if err != nil {
+		return nil, wrapKindErr(s.kind, err)
+	}
+	return sch, nil
+}
+
+func (s *spiderSolver) Stats() SolverStats { return s.s.Stats() }
+
+// treeSolver answers tree queries from one warmed tree.Solver (the
+// cached §8 cover plus its inner spider solver).
+type treeSolver struct {
+	s *tree.Solver
+}
+
+func (s *treeSolver) Platform() Platform { return s.s.Tree() }
+
+func (s *treeSolver) MinMakespan(n int) (Time, Schedule, error) {
+	mk, sch, err := s.s.MinMakespan(n)
+	if err != nil {
+		return 0, nil, wrapKindErr("tree", err)
+	}
+	return mk, sch, nil
+}
+
+func (s *treeSolver) MaxTasks(n int, deadline Time) (int, error) {
+	k, err := s.s.MaxTasks(n, deadline)
+	if err != nil {
+		return 0, wrapKindErr("tree", err)
+	}
+	return k, nil
+}
+
+func (s *treeSolver) ScheduleWithin(n int, deadline Time) (Schedule, error) {
+	sch, err := s.s.ScheduleWithin(n, deadline)
+	if err != nil {
+		return nil, wrapKindErr("tree", err)
+	}
+	return sch, nil
+}
+
+func (s *treeSolver) Stats() SolverStats { return s.s.Stats() }

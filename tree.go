@@ -27,13 +27,20 @@ func TreeFromSpider(sp Spider) Tree { return tree.FromSpider(sp) }
 // idle, so it is feasible on the tree as-is. Exact whenever the tree is
 // already a spider.
 func ScheduleTree(t Tree, n int) (Time, *SpiderSchedule, *TreeCover, error) {
-	return tree.Schedule(t, n)
+	mk, s, cov, err := tree.Schedule(t, n)
+	return mk, s, cov, wrapKindErr("tree", err)
 }
 
 // TreeThroughput returns the exact steady-state task rate of the tree
 // (recursive one-port bandwidth-centric allocation).
-func TreeThroughput(t Tree) (*big.Rat, error) { return tree.Rate(t) }
+func TreeThroughput(t Tree) (*big.Rat, error) {
+	r, err := tree.Rate(t)
+	return r, wrapKindErr("tree", err)
+}
 
 // TreeLowerBound returns a proven lower bound on the optimal makespan
 // of n tasks on the tree.
-func TreeLowerBound(t Tree, n int) (Time, error) { return tree.LowerBound(t, n) }
+func TreeLowerBound(t Tree, n int) (Time, error) {
+	lb, err := tree.LowerBound(t, n)
+	return lb, wrapKindErr("tree", err)
+}
