@@ -7,13 +7,14 @@
 //	msbench -run E1,E4      # selected experiments
 //	msbench -list           # list experiments
 //	msbench -csv dir/       # also dump each table as CSV under dir/
-//	msbench -json file      # dump the E5/E5c/E5w/E5p regression baseline as JSON
+//	msbench -json file      # dump the E5/E5c/E5w/E5p/E6 regression baseline as JSON
 //	msbench -cpuprofile f   # profile the run's CPU (any mode)
 //	msbench -memprofile f   # dump a heap profile at exit (any mode)
 //
 // The -json dump measures the hot-path families (chain and spider
-// solvers, the wide-platform packing and the warm probe loop) with a
-// calibration workload and writes a machine-portable baseline; the
+// solvers, the wide-platform packing, the warm probe loop and the
+// E6-cold construction cells) with a calibration workload and writes a
+// machine-portable baseline; the
 // committed BENCH_seed.json froze the pre-optimisation numbers (add
 // -reference to reproduce that mode) and the regression test in this
 // package flags >20% slowdowns against it. Spider-family points carry
@@ -47,8 +48,8 @@ func run(args []string, out io.Writer) error {
 		list       = fs.Bool("list", false, "list experiments and exit")
 		runIDs     = fs.String("run", "", "comma-separated experiment IDs (default: all)")
 		csvDir     = fs.String("csv", "", "also write each table as CSV under this directory")
-		jsonPath   = fs.String("json", "", "measure the E5/E5c/E5w/E5p regression families and write the baseline JSON here")
-		refSolve   = fs.Bool("reference", false, "with -json: measure the spider family with the unmemoized reference solver, the wide family with the slice-based packer and the probe loop with from-scratch probing")
+		jsonPath   = fs.String("json", "", "measure the E5/E5c/E5w/E5p/E6 regression families and write the baseline JSON here")
+		refSolve   = fs.Bool("reference", false, "with -json: measure the spider family with the unmemoized reference solver, the wide family with the slice-based packer, the probe loop with from-scratch probing and the E6-cold cells with leg dedup off")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile (taken at exit, after a GC) to this file")
 	)

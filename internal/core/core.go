@@ -47,12 +47,10 @@ import (
 )
 
 // Schedule returns a makespan-optimal schedule of n tasks on the chain
-// (Theorem 1), normalised to start at time 0.
+// (Theorem 1), normalised to start at time 0. The chain is validated
+// exactly once, inside run.
 func Schedule(ch platform.Chain, n int) (*sched.ChainSchedule, error) {
-	if err := ch.Validate(); err != nil {
-		return nil, err
-	}
-	s, _, err := run(ch, n, ch.MasterOnlyMakespan(n), false)
+	s, err := run(ch, n, ch.MasterOnlyMakespan(n), false)
 	if err != nil {
 		return nil, err
 	}
@@ -68,8 +66,7 @@ func ScheduleWithin(ch platform.Chain, n int, tlim platform.Time) (*sched.ChainS
 	if tlim < 0 {
 		return nil, fmt.Errorf("core: negative deadline %d", tlim)
 	}
-	s, _, err := run(ch, n, tlim, true)
-	return s, err
+	return run(ch, n, tlim, true)
 }
 
 // Trace records, for every scheduled task, the candidate communication
@@ -89,11 +86,9 @@ type Trace struct {
 
 // ScheduleTraced is Schedule plus the decision trace. The schedule is
 // shifted to start at 0 but the trace keeps absolute (pre-shift) times.
+// As with Schedule, the chain is validated exactly once.
 func ScheduleTraced(ch platform.Chain, n int) (*sched.ChainSchedule, *Trace, error) {
-	if err := ch.Validate(); err != nil {
-		return nil, nil, err
-	}
-	s, tr, err := run(ch, n, ch.MasterOnlyMakespan(n), false)
+	s, tr, err := runTraced(ch, n, ch.MasterOnlyMakespan(n), false)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -101,25 +96,29 @@ func ScheduleTraced(ch platform.Chain, n int) (*sched.ChainSchedule, *Trace, err
 	return s, tr, nil
 }
 
-// run performs the backward construction toward the given horizon.
-// In limited mode it stops early when a task would be emitted before
-// time 0; otherwise it schedules exactly n tasks.
-func run(ch platform.Chain, n int, horizon platform.Time, limited bool) (*sched.ChainSchedule, *Trace, error) {
+// run performs the backward construction toward the given horizon on
+// the untraced fast path: the engine's flat scratch buffers are reused
+// across placements and the only per-task allocation is the committed
+// communication vector itself — no candidate matrices, no trace. In
+// limited mode it stops early when a task would be emitted before time
+// 0; otherwise it schedules exactly n tasks.
+func run(ch platform.Chain, n int, horizon platform.Time, limited bool) (*sched.ChainSchedule, error) {
 	if err := ch.Validate(); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if n < 0 {
-		return nil, nil, errors.New("core: negative task count")
+		return nil, errors.New("core: negative task count")
 	}
-	p := ch.Len()
 	e := newEngine(ch, horizon)
-	tr := &Trace{Horizon: horizon}
 
 	// Tasks are produced backward (task n first); prepend-by-reverse at
 	// the end. In limited mode we may stop with fewer than n tasks.
 	backward := make([]sched.ChainTask, 0, n)
 	for i := 0; i < n; i++ {
-		task, cands := e.placeNext()
+		task, ok := e.placeNext()
+		if !ok {
+			return nil, errEmptyPlacement(ch)
+		}
 		if limited && task.Comms[0] < 0 {
 			// The task does not fit before time 0: undo nothing (state
 			// updates happen only on commit below) and stop.
@@ -127,22 +126,61 @@ func run(ch platform.Chain, n int, horizon platform.Time, limited bool) (*sched.
 		}
 		e.commit(task)
 		backward = append(backward, task)
+	}
+	return reverseBackward(ch, backward), nil
+}
+
+// runTraced is run plus the full decision trace: every candidate vector
+// the algorithm weighed is materialised, which costs O(p²) allocations
+// per task — callers that discard the trace must use run.
+func runTraced(ch platform.Chain, n int, horizon platform.Time, limited bool) (*sched.ChainSchedule, *Trace, error) {
+	if err := ch.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if n < 0 {
+		return nil, nil, errors.New("core: negative task count")
+	}
+	e := newEngine(ch, horizon)
+	tr := &Trace{Horizon: horizon}
+
+	backward := make([]sched.ChainTask, 0, n)
+	for i := 0; i < n; i++ {
+		task, cands, ok := e.placeNextTraced()
+		if !ok {
+			return nil, nil, errEmptyPlacement(ch)
+		}
+		if limited && task.Comms[0] < 0 {
+			break
+		}
+		e.commit(task)
+		backward = append(backward, task)
 		tr.Candidates = append(tr.Candidates, cands)
 		tr.Chosen = append(tr.Chosen, task.Proc)
 	}
+	reverseTrace(tr)
+	return reverseBackward(ch, backward), tr, nil
+}
 
-	// Reverse into emission order.
+// errEmptyPlacement is the limited-mode guard of the degenerate case:
+// a placement with no candidate vector (an empty chain slipping past
+// validation, or a future engine bug) must surface as an error, never
+// as an out-of-range read of Comms[0].
+func errEmptyPlacement(ch platform.Chain) error {
+	return fmt.Errorf("core: internal error: no placement candidate on a %d-processor chain", ch.Len())
+}
+
+// reverseBackward reverses backward placements into emission order.
+func reverseBackward(ch platform.Chain, backward []sched.ChainTask) *sched.ChainSchedule {
 	s := &sched.ChainSchedule{Chain: ch, Tasks: make([]sched.ChainTask, len(backward))}
 	for i, t := range backward {
 		s.Tasks[len(backward)-1-i] = t
 	}
-	reverseTrace(tr)
-	if p > 0 && len(s.Tasks) > 1 {
+	if ch.Len() > 0 && len(s.Tasks) > 1 {
 		// The backward construction emits earlier tasks earlier by
 		// design; Normalize is a no-op kept as a guard.
 		s.Normalize()
 	}
-	return s, tr, nil
+	return s
 }
 
 func reverseTrace(tr *Trace) {
@@ -159,38 +197,114 @@ func shiftToZero(s *sched.ChainSchedule) {
 	s.Shift(-s.Tasks[0].Comms[0])
 }
 
-// engine holds the backward construction state.
+// engine holds the backward construction state. The chain parameters
+// and the per-placement scratch live in flat slices indexed by the
+// 1-based processor number (index 0 unused in h/o/c/w), so the O(p²)
+// hull-update kernel of placeNext runs over contiguous int64 arrays —
+// no Node field chasing, no per-candidate allocation — the shape the
+// compiler's bounds-check elimination and the cache like.
 type engine struct {
 	ch platform.Chain
 	h  []platform.Time // h[k] = hull of link k, 1-based
 	o  []platform.Time // o[k] = occupancy of processor k, 1-based
+	c  []platform.Time // c[k] = link latency, 1-based copy of the chain
+	w  []platform.Time // w[k] = processing time, 1-based copy
+
+	// placeNext scratch: the best candidate vector so far and the one
+	// being cascaded, swapped by header so neither is ever copied.
+	bestBuf []platform.Time
+	curBuf  []platform.Time
 }
 
 func newEngine(ch platform.Chain, horizon platform.Time) *engine {
 	p := ch.Len()
 	e := &engine{
-		ch: ch,
-		h:  make([]platform.Time, p+1),
-		o:  make([]platform.Time, p+1),
+		ch:      ch,
+		h:       make([]platform.Time, p+1),
+		o:       make([]platform.Time, p+1),
+		c:       make([]platform.Time, p+1),
+		w:       make([]platform.Time, p+1),
+		bestBuf: make([]platform.Time, p),
+		curBuf:  make([]platform.Time, p),
 	}
 	for k := 1; k <= p; k++ {
 		e.h[k] = horizon
 		e.o[k] = horizon
+		e.c[k] = ch.Comm(k)
+		e.w[k] = ch.Work(k)
 	}
 	return e
 }
 
-// placeNext computes the p candidate communication vectors for the next
-// (backward) task and returns the chosen assignment without mutating the
-// engine state; commit applies it. All times are absolute.
-func (e *engine) placeNext() (sched.ChainTask, [][]platform.Time) {
-	p := e.ch.Len()
+// placeNext computes the chosen assignment for the next (backward) task
+// without mutating the engine state; commit applies it. All times are
+// absolute. Candidate vectors are cascaded into reusable flat buffers
+// and compared incrementally under the Definition 3 order, so the only
+// allocation is the returned task's own communication vector. ok is
+// false when the chain has no processors to place on.
+func (e *engine) placeNext() (task sched.ChainTask, ok bool) {
+	p := len(e.c) - 1
+	if p == 0 {
+		return sched.ChainTask{}, false
+	}
+	h, o, c, w := e.h, e.o, e.c, e.w
+	best, cur := e.bestBuf, e.curBuf
+	bestLen, bestProc := 0, 0
+	for k := 1; k <= p; k++ {
+		// Candidate targeting processor k: place as late as possible,
+		// then cascade the emission down through the hulls.
+		v := min(o[k]-w[k], h[k]) - c[k]
+		cur[k-1] = v
+		for j := k - 1; j >= 1; j-- {
+			if hj := h[j]; hj < v {
+				v = hj
+			}
+			v -= c[j]
+			cur[j-1] = v
+		}
+		// Keep the greatest candidate (VecMaxIndex semantics: only a
+		// strictly greater vector replaces, so exact ties keep the
+		// shallower processor seen first).
+		if bestProc == 0 || flatVecLess(best[:bestLen], cur[:k]) {
+			best, cur = cur, best
+			bestLen, bestProc = k, k
+		}
+	}
+	e.bestBuf, e.curBuf = best, cur
+	return sched.ChainTask{
+		Proc:  bestProc,
+		Start: o[bestProc] - w[bestProc],
+		Comms: append([]platform.Time(nil), best[:bestLen]...),
+	}, true
+}
+
+// flatVecLess is sched.VecLess over the scratch buffers: a ≺ b iff the
+// first differing coordinate is smaller, or the vectors share a prefix
+// and a is the longer one (the shallower processor wins exact ties).
+func flatVecLess(a, b []platform.Time) bool {
+	n := min(len(a), len(b))
+	for l := 0; l < n; l++ {
+		if a[l] != b[l] {
+			return a[l] < b[l]
+		}
+	}
+	return len(a) > len(b)
+}
+
+// placeNextTraced is placeNext materialising every candidate vector for
+// the decision trace; it allocates O(p²) per call and exists only for
+// ScheduleTraced and the Lemma 1/Lemma 2 structural checks.
+func (e *engine) placeNextTraced() (sched.ChainTask, [][]platform.Time, bool) {
+	p := len(e.c) - 1
+	if p == 0 {
+		return sched.ChainTask{}, nil, false
+	}
 	cands := make([][]platform.Time, p)
 	for k := 1; k <= p; k++ {
 		v := make([]platform.Time, k)
-		v[k-1] = min(e.o[k]-e.ch.Work(k), e.h[k]) - e.ch.Comm(k)
+		v[k-1] = min(e.o[k]-e.w[k], e.h[k]) - e.c[k]
 		for j := k - 1; j >= 1; j-- {
-			v[j-1] = min(v[j], e.h[j]) - e.ch.Comm(j)
+			v[j-1] = min(v[j], e.h[j]) - e.c[j]
 		}
 		cands[k-1] = v
 	}
@@ -198,10 +312,10 @@ func (e *engine) placeNext() (sched.ChainTask, [][]platform.Time) {
 	proc := best + 1
 	task := sched.ChainTask{
 		Proc:  proc,
-		Start: e.o[proc] - e.ch.Work(proc),
+		Start: e.o[proc] - e.w[proc],
 		Comms: append([]platform.Time(nil), cands[best]...),
 	}
-	return task, cands
+	return task, cands, true
 }
 
 // commit applies a placement returned by placeNext: the processor's
@@ -209,7 +323,8 @@ func (e *engine) placeNext() (sched.ChainTask, [][]platform.Time) {
 // is hulled at the task's emission.
 func (e *engine) commit(t sched.ChainTask) {
 	e.o[t.Proc] = t.Start
+	h := e.h
 	for k := 1; k <= t.Proc; k++ {
-		e.h[k] = t.Comms[k-1]
+		h[k] = t.Comms[k-1]
 	}
 }

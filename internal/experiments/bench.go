@@ -91,7 +91,11 @@ func calibrate() (int64, error) {
 // (a binary-search deadline walk against a warmed solver) at two widths,
 // keyed by leg count — the workload the probe-persistent packer and
 // tournament merge amortise, guarded against the from-scratch path the
-// -reference dump measures.
+// -reference dump measures. coldLegs/coldN are the E6-cold cells: one
+// cold min-makespan solve including plan construction, on the E6c
+// experiment's duplicate-heavy and all-distinct platforms, keyed by leg
+// count — the workload isomorphic-leg dedup collapses, guarded against
+// the dedup-off per-leg construction path the -reference dump measures.
 var (
 	chainSizes    = []int{512, 2048}
 	spiderSizes   = []int{32, 128, 512}
@@ -101,6 +105,8 @@ var (
 	wideSizes     = []int{512, 1024}
 	probeLoopLegs = []int{256, 1024}
 	probeLoopN    = 512
+	coldLegs      = []int{256, 1024}
+	coldN         = 512
 )
 
 // MeasureBenchBaseline measures the E5/E5c families. With reference
@@ -111,9 +117,9 @@ func MeasureBenchBaseline(reference bool) (*BenchBaseline, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := &BenchBaseline{Note: "fast solver (probe-persistent packer + tournament merge)", CalibrationNs: calBefore}
+	b := &BenchBaseline{Note: "fast solver (probe-persistent packer + tournament merge + leg dedup)", CalibrationNs: calBefore}
 	if reference {
-		b.Note = "reference solvers (E5c via spider.ReferenceMinMakespan; E5w-wide via the slice-based packer; E5p-loop via from-scratch probing)"
+		b.Note = "reference solvers (E5c via spider.ReferenceMinMakespan; E5w-wide via the slice-based packer; E5p-loop via from-scratch probing; E6-cold via dedup-off per-leg construction)"
 	}
 
 	g := platform.MustGenerator(2024, 1, 9, platform.Uniform)
@@ -204,6 +210,35 @@ func MeasureBenchBaseline(reference bool) (*BenchBaseline, error) {
 			NsPerOp:        d.Nanoseconds() / int64(len(walk)),
 			ProbesPerSolve: probes,
 		})
+	}
+	// E6-cold: cold construction — one min-makespan solve on a fresh
+	// solver, plan construction included, at the E6c experiment's cells.
+	// In reference mode the solver runs with leg dedup off — the per-leg
+	// construction path — freezing the comparison point isomorphic-leg
+	// dedup is guarded against. (The flat hull kernel is in both modes;
+	// its own regression shows up in every construction-bearing family.)
+	for _, cell := range []struct {
+		family string
+		build  func(int) platform.Spider
+	}{
+		{"E6-cold-dup", dupHeavySpider},
+		{"E6-cold-distinct", distinctSpider},
+	} {
+		for _, legs := range coldLegs {
+			csp := cell.build(legs)
+			d, err := minTime(benchReps, func() error {
+				s, err := newColdSolver(csp, !reference)
+				if err != nil {
+					return err
+				}
+				_, _, err = s.MinMakespan(coldN)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			b.Points = append(b.Points, BenchPoint{Family: cell.family, Size: legs, NsPerOp: d.Nanoseconds()})
+		}
 	}
 	// SVC-tree draws its platform from a dedicated generator so the
 	// existing cells' instances stay byte-identical to earlier dumps.

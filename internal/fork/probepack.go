@@ -29,6 +29,10 @@ import (
 // to the retained admissions and only the suffix is re-offered. A probe
 // whose recorded decisions all survive costs a single scan with one
 // comparison per logged candidate — no merge, no treap work at all.
+// The task budget n never appears in a decision, only in where the run
+// stops, so the log also persists across budget changes: Rewind re-cuts
+// the same decisions for a shrunken n and extends past them for a grown
+// one (see Rewind).
 //
 // The equivalence ladder (packFeasible spec → PackSorted → Packer →
 // ProbePacker) is extended by property and fuzz tests asserting the
@@ -86,9 +90,18 @@ func (pp *ProbePacker) Recorded() (n int, ok bool) { return pp.pk.n, pp.valid }
 // given deadline. change is the earliest candidate, in admission order,
 // at which the new candidate stream differs from the recorded one (nil
 // when the streams are identical); it is ignored when no recorded run
-// matches and the packer resets. consumed must hold one slot per origin
+// exists and the packer resets. consumed must hold one slot per origin
 // leg; Rewind zeroes it and counts the retained candidates per leg, so
 // the caller can position its merge cursors to resume the stream.
+//
+// The recorded run survives changes of BOTH probe coordinates. The
+// decisions never mention the budget — n enters only through where the
+// run stops — so a new n re-cuts the same log: a smaller budget stops
+// the replay at its n-th retained admission (the rolled-back rest is
+// simply never reached), a larger one extends past the log's end via
+// the ordinary tail/stream machinery. A warm solver answering
+// MinMakespan(n±δ) therefore trims or extends the recorded run instead
+// of re-packing it.
 //
 // The return values: done means the recorded decisions fully answer the
 // probe and no candidates need to be offered; retained is the number of
@@ -106,7 +119,7 @@ func (pp *ProbePacker) Rewind(n int, deadline platform.Time, change *platform.Vi
 	pp.tail, pp.tailPos = pp.tail[:0], 0
 	pp.superset, pp.subset = true, true
 	pp.tailFull = pp.valid && pp.pk.Full()
-	if !pp.valid || n != pp.pk.n {
+	if !pp.valid {
 		if err := pp.pk.Reset(n, deadline); err != nil {
 			return false, 0, err
 		}
@@ -118,10 +131,16 @@ func (pp *ProbePacker) Rewind(n int, deadline platform.Time, change *platform.Vi
 	// Scan for the first divergence, counting retained admissions (for
 	// the treap rollback) and retained candidates per leg (for cursor
 	// repositioning). Entries before it decide identically at the new
-	// deadline, by induction over the scan order.
+	// deadline, by induction over the scan order. A replay that fills
+	// the new budget stops there outright: later recorded decisions were
+	// never taken by the re-run, budget-stopped exactly like a live one.
 	oldD := pp.logD
 	div, adm := len(pp.log), 0
 	for i := range pp.log {
+		if adm == n {
+			div = i
+			break
+		}
 		e := &pp.log[i]
 		if change != nil && platform.CompareVirtualSlaves(*change, e.v) <= 0 {
 			div = i
@@ -137,17 +156,20 @@ func (pp *ProbePacker) Rewind(n int, deadline platform.Time, change *platform.Vi
 		}
 		consumed[e.v.Leg]++
 	}
-	// Subtree aggregates never mention the deadline, so retargeting the
-	// packer is a plain assignment.
+	// Subtree aggregates never mention the deadline or the budget, so
+	// retargeting the packer is a pair of plain assignments (the treap
+	// itself is cut by rollback below when admissions are shed).
 	pp.pk.deadline = deadline
+	pp.pk.n = n
 	pp.logD = deadline
 	if div == len(pp.log) {
-		// Every recorded decision survives. If the recorded run stopped
-		// because the budget filled, the re-run would stop at the same
-		// candidate; if the stream is unchanged, it would end the same
-		// way too. Only a stream change past the log's end needs more
-		// candidates.
-		if pp.pk.Full() || change == nil {
+		// Every recorded decision survives. Done unless the stream holds
+		// candidates the log never saw: either the caller reports a
+		// stream change past the log's end, or the recorded run stopped
+		// on a filled budget (pp.tailFull) that the new n may exceed —
+		// in both cases more candidates must be offered unless the new
+		// budget is already filled.
+		if pp.pk.Full() || (change == nil && !pp.tailFull) {
 			return true, len(pp.log), nil
 		}
 		return false, len(pp.log), nil
@@ -158,6 +180,12 @@ func (pp *ProbePacker) Rewind(n int, deadline platform.Time, change *platform.Vi
 	pp.tail = append(pp.tail[:0], pp.log[div:]...)
 	pp.tailD = oldD
 	pp.log = pp.log[:div]
+	if pp.pk.Full() {
+		// Budget-stop rewind: the retained prefix already holds the new
+		// (smaller) budget, so the probe is answered; the tail stays
+		// rewound and the next probe re-cuts the truncated log.
+		return true, div, nil
+	}
 	return false, div, nil
 }
 

@@ -58,7 +58,6 @@ func driveWalk(t *testing.T, legs []probeLeg, walk []walkStep) {
 	kprev := make([]int, len(legs))
 	ks := make([]int, len(legs))
 	valid := false
-	validN := 0
 	for step, ws := range walk {
 		if ws.deadline < 0 || ws.n < 0 {
 			continue
@@ -75,7 +74,7 @@ func driveWalk(t *testing.T, legs []probeLeg, walk []walkStep) {
 		// admission order across legs.
 		var change *platform.VirtualSlave
 		var cv platform.VirtualSlave
-		if valid && validN == ws.n {
+		if valid {
 			for b := range legs {
 				if ks[b] == kprev[b] {
 					continue
@@ -106,7 +105,7 @@ func driveWalk(t *testing.T, legs []probeLeg, walk []walkStep) {
 			}
 		}
 		copy(kprev, ks)
-		valid, validN = true, ws.n
+		valid = true
 
 		label := fmt.Sprintf("step %d (n=%d deadline=%d done=%v)", step, ws.n, ws.deadline, done)
 		spec := packSpec(stream, ws.n, ws.deadline)
@@ -182,7 +181,7 @@ func TestProbePackerRecordedSearches(t *testing.T) {
 
 // TestProbePackerRandomWalks stresses arbitrary deadline movement —
 // jumps up and down, exact repeats, zero deadlines — plus mid-walk
-// budget changes, which must reset the recorded run.
+// budget changes, which must re-cut the recorded run at the new n.
 func TestProbePackerRandomWalks(t *testing.T) {
 	trials := 300
 	if testing.Short() {
@@ -211,6 +210,86 @@ func TestProbePackerRandomWalks(t *testing.T) {
 			walk = append(walk, walkStep{n: n, deadline: d})
 		}
 		driveWalk(t, legs, walk)
+	}
+}
+
+// TestProbePackerBudgetResize pins the cross-n persistence contract
+// directly: at a fixed deadline and unchanged stream, shrinking the
+// budget must be answered from the scan alone (done, with the treap cut
+// to the new n), and growing it back must extend the retained run
+// rather than reset it (retained > 0).
+func TestProbePackerBudgetResize(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 50; trial++ {
+		legs := makeProbeLegs(r)
+		d := maxWalkDeadline(legs)
+		var stream []platform.VirtualSlave
+		ks := make([]int, len(legs))
+		for b, leg := range legs {
+			ks[b] = legCount(leg, d)
+			stream = append(stream, leg[:ks[b]]...)
+		}
+		if len(stream) < 3 {
+			continue
+		}
+		platform.SortVirtualSlaves(stream)
+		n := len(stream)
+
+		pp := NewProbePacker()
+		consumed := make([]int, len(legs))
+		offer := func() {
+			skip := append([]int(nil), consumed...)
+			for _, v := range stream {
+				if pp.Full() {
+					break
+				}
+				if skip[v.Leg] > 0 {
+					skip[v.Leg]--
+					continue
+				}
+				pp.Offer(v)
+			}
+		}
+		if done, _, err := pp.Rewind(n, d, nil, consumed); err != nil {
+			t.Fatal(err)
+		} else if !done {
+			offer()
+		}
+		full := pp.Len()
+		if full == 0 {
+			continue
+		}
+
+		// Shrink: the stream is unchanged (change=nil), so the scan stops
+		// at the smaller budget's last admission and the probe is done.
+		small := 1 + r.Intn(full)
+		done, retained, err := pp.Rewind(small, d, nil, consumed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !done {
+			t.Fatalf("trial %d: budget shrink %d→%d not answered from the recorded run", trial, full, small)
+		}
+		if pp.Len() != small {
+			t.Fatalf("trial %d: after shrink to %d the packer holds %d admissions", trial, small, pp.Len())
+		}
+		spec := packSpec(stream, small, d)
+		allocsIdentical(t, fmt.Sprintf("trial %d shrink to %d", trial, small), pp.Allocation(), spec)
+
+		// Grow back: the retained decisions must survive (no reset) and
+		// the extension must land on the from-scratch answer.
+		done, retained, err = pp.Rewind(n, d, nil, consumed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if retained == 0 {
+			t.Fatalf("trial %d: budget grow %d→%d reset the recorded run", trial, small, n)
+		}
+		if !done {
+			offer()
+		}
+		spec = packSpec(stream, n, d)
+		allocsIdentical(t, fmt.Sprintf("trial %d regrow to %d", trial, n), pp.Allocation(), spec)
 	}
 }
 

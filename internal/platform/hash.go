@@ -38,6 +38,13 @@ func encodeLeg(ch Chain) []byte {
 	return buf
 }
 
+// LegKey returns the injective canonical encoding of a chain as a
+// string, suitable as a map key. Two chains share a key exactly when
+// they are the same leg — same length, same (c, w) sequence — which is
+// what the spider solver's isomorphic-leg dedup needs: unlike Hash it
+// is collision-free by construction and costs no cryptographic pass.
+func LegKey(ch Chain) string { return string(encodeLeg(ch)) }
+
 // HashSpider returns the canonical fingerprint of the spider. Legs are
 // sorted by their encoded bytes before hashing, so any permutation of
 // the same legs produces the same hash.

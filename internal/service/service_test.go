@@ -167,6 +167,49 @@ func TestWarmRepeatMatchesDirect(t *testing.T) {
 	}
 }
 
+// TestWarmCrossNMatchesDirect: the cache is keyed by platform, not by
+// task count, so a warmed solver answers a sweep of different n. With
+// cross-n probe persistence the entry must survive the budget changes
+// (every query after the first is a cache hit, one construction total)
+// and stay answer-identical to a cold direct solve at each n.
+func TestWarmCrossNMatchesDirect(t *testing.T) {
+	sp := testSpider()
+	svc := New(Config{})
+	base := 24
+	for i, n := range []int{base, base + 1, base - 1, base + 7, base - 9, base} {
+		req := mustSpiderRequest(t, sp, OpMinMakespan, n, 0)
+		req.IncludeSchedule = true
+		resp, err := svc.Solve(req)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		wantCache := "hit"
+		if i == 0 {
+			wantCache = "miss"
+		}
+		if resp.Meta.Cache != wantCache {
+			t.Errorf("n=%d: cache = %q, want %q", n, resp.Meta.Cache, wantCache)
+		}
+		wantMk, wantSched, err := spider.MinMakespan(sp, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Makespan != wantMk || resp.Tasks != n {
+			t.Fatalf("n=%d: warm makespan %d tasks %d, direct %d and %d", n, resp.Makespan, resp.Tasks, wantMk, n)
+		}
+		dec, err := resp.DecodeSchedule()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dec.Spider.Equal(wantSched) {
+			t.Fatalf("n=%d: warm schedule differs from the direct solve", n)
+		}
+	}
+	if st := svc.Stats(); st.Constructions != 1 {
+		t.Errorf("cross-n sweep built %d solvers, want 1", st.Constructions)
+	}
+}
+
 // TestIsomorphicSpidersShareEntry: permuting the legs must land on the
 // same warmed solver (order-normalised fingerprint) and still yield a
 // feasible optimal schedule expressed in the requester's leg order.

@@ -84,8 +84,20 @@ func (lp *legPlan) task(k, i int, deadline platform.Time) sched.ChainTask {
 // covering heuristic may) pays the backward construction only once.
 // A Solver is not safe for concurrent use; independent Solvers are.
 type Solver struct {
-	sp   platform.Spider
+	sp platform.Spider
+	// legs[b] is leg b's plan view. With dedup on (the default),
+	// isomorphic legs — identical (c, w) sequences under platform.LegKey
+	// — share one *legPlan: the backward construction is paid once per
+	// distinct leg shape, not once per leg. Sharing is sound because a
+	// plan is a pure function of its chain (every consumer carries the
+	// leg index separately) and growth is deterministic.
 	legs []*legPlan
+	// plans holds each distinct plan exactly once. The parallel prepare
+	// workers iterate plans, not legs, so no two goroutines ever grow
+	// the same shared plan.
+	plans    []*legPlan
+	dedupOff bool
+
 	vbuf []platform.VirtualSlave // slice-packing probe scratch, admission order
 	kbuf []int                   // reused per-leg fit counts
 	cbuf []legCursor             // reused merge heap (from-scratch paths)
@@ -149,29 +161,88 @@ type ProbeStats struct {
 // Stats returns the cumulative probe telemetry.
 func (s *Solver) Stats() ProbeStats { return s.stats }
 
-// NewSolver validates the spider and prepares empty per-leg plans.
+// NewSolver validates the spider and prepares empty per-leg plans,
+// deduplicating isomorphic legs (see Solver.legs).
 func NewSolver(sp platform.Spider) (*Solver, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Solver{sp: sp, legs: make([]*legPlan, sp.NumLegs())}
-	for b, leg := range sp.Legs {
-		inc, err := core.NewIncremental(leg)
-		if err != nil {
-			return nil, fmt.Errorf("spider: leg %d: %w", b, err)
-		}
-		s.legs[b] = &legPlan{inc: inc, c1: leg.Comm(1)}
+	s := &Solver{sp: sp}
+	if err := s.buildPlans(); err != nil {
+		return nil, err
 	}
 	return s, nil
 }
 
+// buildPlans (re)builds the per-leg plan views and the distinct-plan
+// set according to the current dedup setting.
+func (s *Solver) buildPlans() error {
+	s.legs = make([]*legPlan, s.sp.NumLegs())
+	s.plans = s.plans[:0]
+	var shared map[string]*legPlan
+	if !s.dedupOff {
+		shared = make(map[string]*legPlan, len(s.legs))
+	}
+	for b, leg := range s.sp.Legs {
+		var key string
+		if shared != nil {
+			key = platform.LegKey(leg)
+			if lp := shared[key]; lp != nil {
+				s.legs[b] = lp
+				continue
+			}
+		}
+		inc, err := core.NewIncremental(leg)
+		if err != nil {
+			return fmt.Errorf("spider: leg %d: %w", b, err)
+		}
+		lp := &legPlan{inc: inc, c1: leg.Comm(1)}
+		s.legs[b] = lp
+		s.plans = append(s.plans, lp)
+		if shared != nil {
+			shared[key] = lp
+		}
+	}
+	return nil
+}
+
+// SetLegDedup toggles (default on) the isomorphic-leg plan sharing.
+// Off rebuilds one independent plan per leg — the pre-dedup cold path —
+// discarding all memoized growth and the probe-persistent state. The
+// schedules are identical either way (a plan is a pure function of its
+// chain); the knob exists for that assertion and for the E6 ablation
+// that measures what dedup buys on duplicate-heavy platforms.
+func (s *Solver) SetLegDedup(on bool) {
+	if s.dedupOff == !on {
+		return
+	}
+	s.dedupOff = !on
+	if err := s.buildPlans(); err != nil {
+		// The spider validated in NewSolver; plan construction cannot
+		// fail on the same legs afterwards.
+		panic(fmt.Sprintf("spider: rebuilding leg plans: %v", err))
+	}
+	// The old plans — and every probe structure holding pointers into
+	// them — are gone; drop the memo marks and persistent probe state so
+	// the next probe rebuilds from the fresh plans.
+	s.prepN, s.prepDeadline = 0, 0
+	s.pp, s.lt = nil, nil
+	s.scratch = nil
+}
+
+// DistinctLegPlans returns how many backward constructions the solver
+// actually owns: the number of distinct leg shapes under dedup, or the
+// leg count with dedup off.
+func (s *Solver) DistinctLegPlans() int { return len(s.plans) }
+
 // Spider returns the platform the solver schedules on.
 func (s *Solver) Spider() platform.Spider { return s.sp }
 
-// prepare grows every leg plan far enough to answer fit(n, deadline),
-// evaluating independent legs in parallel worker goroutines. Each
-// goroutine mutates only its own legPlan, so the merge is deterministic
-// by construction: subsequent reads walk the legs in index order.
+// prepare grows every distinct leg plan far enough to answer
+// fit(n, deadline), evaluating independent plans in parallel worker
+// goroutines. Each goroutine mutates only plans it exclusively drew, so
+// the merge is deterministic by construction: subsequent reads walk the
+// legs in index order over fully grown, immutable-from-here plans.
 func (s *Solver) prepare(n int, deadline platform.Time) {
 	if n <= s.prepN && deadline <= s.prepDeadline {
 		return
@@ -182,16 +253,20 @@ func (s *Solver) prepare(n int, deadline platform.Time) {
 	s.prepN = max(s.prepN, n)
 	s.prepDeadline = max(s.prepDeadline, deadline)
 	n, deadline = s.prepN, s.prepDeadline
-	if len(s.legs) < 2 || n < 2 {
-		for _, lp := range s.legs {
+	// Growth walks the distinct plans: with dedup on, a shape shared by
+	// m legs is constructed once here and read m times later. Iterating
+	// plans (not legs) is also what keeps the pool race-free — each
+	// worker owns the plans it draws, and no plan appears twice.
+	if len(s.plans) < 2 || n < 2 {
+		for _, lp := range s.plans {
 			lp.fit(n, deadline)
 		}
 		return
 	}
-	workers := min(len(s.legs), runtime.GOMAXPROCS(0))
+	workers := min(len(s.plans), runtime.GOMAXPROCS(0))
 	var wg sync.WaitGroup
-	next := make(chan *legPlan, len(s.legs))
-	for _, lp := range s.legs {
+	next := make(chan *legPlan, len(s.plans))
+	for _, lp := range s.plans {
 		next <- lp
 	}
 	close(next)
@@ -365,8 +440,12 @@ func (s *Solver) persistentProbe(n int, deadline platform.Time, ks []int) error 
 	var change *platform.VirtualSlave
 	var cv platform.VirtualSlave
 	grown := s.grown[:0]
-	rn, recOK := s.pp.Recorded()
-	joined := recOK && rn == n
+	// Any recorded run joins, regardless of its task budget: the decision
+	// log is budget-independent (Rewind re-cuts it for the new n), so a
+	// warm solver asked about n±δ extends or trims the recorded run
+	// instead of re-packing from scratch.
+	_, recOK := s.pp.Recorded()
+	joined := recOK
 	if joined {
 		for b, lp := range s.legs {
 			if ks[b] == s.kprev[b] {
@@ -410,6 +489,19 @@ func (s *Solver) persistentProbe(n int, deadline platform.Time, ks []int) error 
 		}
 		for !s.pp.Full() {
 			tv, tok := s.pp.TailPeek()
+			if !tok && s.pp.TailWasFull() {
+				// The tail is spent but the recorded run had stopped on a
+				// filled budget, so the old stream continues past it with
+				// candidates the log never saw — candidates that sort
+				// before the remaining grown entries (a grown candidate
+				// follows every old candidate of its leg). Draining grown
+				// here would break admission order; the tournament below
+				// resumes every leg from its consumed position and covers
+				// both in order. Unreachable with n fixed (grown non-empty
+				// implies a deadline raise, whose replays fill the budget
+				// before the tail spends), live under cross-n raises.
+				break
+			}
 			if tok && tv.Rank >= ks[tv.Leg] {
 				s.pp.TailDrop()
 				continue
