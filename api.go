@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/spider"
 	"repro/internal/tree"
@@ -67,9 +68,34 @@ type Schedule interface {
 	String() string
 }
 
-// SolverStats is the warm solver's cumulative deadline-search telemetry
-// (zero for chain solvers: the chain algorithm does not probe).
+// SolverStats is the warm solver's cumulative deadline-search telemetry.
+// Chain solvers report their incremental plan's counters through the
+// same shape: Probes and CountChecks count FitWithin evaluations (the
+// chain analogue of a deadline probe), Constructed the cached backward
+// placements.
 type SolverStats = spider.ProbeStats
+
+// SolveTrace accumulates per-phase wall time along the solve path. A
+// nil *SolveTrace is the disabled state: every hook is nil-safe and
+// costs one pointer compare. Attach one to a Solver with SetTrace and
+// read it back with Snapshot; see package repro/internal/obs for the
+// phase model.
+type SolveTrace = obs.SolveTrace
+
+// Phase identifies one solve-path phase in a SolveTrace.
+type Phase = obs.Phase
+
+// PhaseSnapshot is a point-in-time copy of a SolveTrace.
+type PhaseSnapshot = obs.PhaseSnapshot
+
+// Phase constants, re-exported from repro/internal/obs.
+const (
+	PhaseConstruct = obs.PhaseConstruct
+	PhaseDedup     = obs.PhaseDedup
+	PhaseMerge     = obs.PhaseMerge
+	PhasePack      = obs.PhasePack
+	PhaseExtract   = obs.PhaseExtract
+)
 
 // Solver answers repeated scheduling queries on one platform, reusing
 // warmed state across calls: the backward chain constructions — and for
@@ -91,6 +117,11 @@ type Solver interface {
 	ScheduleWithin(n int, deadline Time) (Schedule, error)
 	// Stats returns the cumulative probe telemetry.
 	Stats() SolverStats
+	// SetTrace attaches (or, with nil, detaches) a phase trace the
+	// solve path reports wall time into. Hooks are nil-safe: a solver
+	// without a trace pays one pointer compare per hook. Safe to call
+	// between queries only.
+	SetTrace(t *SolveTrace)
 }
 
 // NewSolver builds the warmed solver for the platform: the incremental

@@ -18,7 +18,10 @@
 // committed BENCH_seed.json froze the pre-optimisation numbers (add
 // -reference to reproduce that mode) and the regression test in this
 // package flags >20% slowdowns against it. Spider-family points carry
-// probes_per_solve — the deadline-search telemetry of one cold solve.
+// probes_per_solve — the deadline-search telemetry of one cold solve —
+// and most cells carry phase_ns, the phase-by-phase wall-time breakdown
+// (construct/dedup/merge/pack/extract) of one extra traced run taken
+// outside the timed reps; both are context the comparison ignores.
 package main
 
 import (

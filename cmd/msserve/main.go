@@ -7,21 +7,31 @@
 // Usage:
 //
 //	msserve [-addr :8080] [-cache 64] [-workers 0] [-max-n 1048576]
+//	        [-slow-query 0] [-pprof]
 //
 // Endpoints:
 //
 //	POST /solve   — a tagged platform envelope (see msgen) plus
-//	                op/n/deadline; answers carry cache and coalesce
-//	                metadata
-//	GET  /stats   — hits, misses, coalesced, memo hits, constructions, evictions
-//	GET  /healthz — liveness
+//	                op/n/deadline; answers carry cache/coalesce
+//	                metadata and a per-solve cost block (probe counts,
+//	                phase-by-phase wall time)
+//	GET  /stats   — hits, misses, coalesced, memo hits, constructions,
+//	                evictions, uptime
+//	GET  /metrics — Prometheus text exposition: per-(kind, op) solve
+//	                latency histograms split warm/cold, cache counters,
+//	                per-phase solve time, in-flight gauge
+//	GET  /healthz — liveness: build info and uptime (JSON)
+//	GET  /debug/pprof/* — the standard profiler, only with -pprof
+//
+// -slow-query DURATION logs every solve at or above the threshold to
+// stderr, one line mirroring the response's cost block.
 //
 // The server drains gracefully on SIGINT/SIGTERM. Example session:
 //
 //	msgen -kind spider -legs 4 -depth 3 > sp.json
-//	msserve -addr :8080 &
+//	msserve -addr :8080 -slow-query 10ms &
 //	curl -s localhost:8080/solve -d '{"platform":'"$(cat sp.json)"',"op":"min_makespan","n":64}'
-//	curl -s localhost:8080/stats
+//	curl -s localhost:8080/metrics
 package main
 
 import (
@@ -56,11 +66,13 @@ func main() {
 func run(ctx context.Context, args []string, out io.Writer, ready chan<- string) error {
 	fs := flag.NewFlagSet("msserve", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", ":8080", "listen address")
-		cache   = fs.Int("cache", 64, "warmed solvers kept (LRU beyond this)")
-		workers = fs.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
-		maxN    = fs.Int("max-n", 1<<20, "per-query task count limit")
-		drain   = fs.Duration("drain", 5*time.Second, "graceful shutdown timeout")
+		addr      = fs.String("addr", ":8080", "listen address")
+		cache     = fs.Int("cache", 64, "warmed solvers kept (LRU beyond this)")
+		workers   = fs.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
+		maxN      = fs.Int("max-n", 1<<20, "per-query task count limit")
+		drain     = fs.Duration("drain", 5*time.Second, "graceful shutdown timeout")
+		slowQuery = fs.Duration("slow-query", 0, "log solves at or above this wall time (0 = off)")
+		pprofOn   = fs.Bool("pprof", false, "mount the profiler under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,7 +84,14 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
-	svc := service.New(service.Config{CacheSize: *cache, Workers: *workers, MaxN: *maxN})
+	svc := service.New(service.Config{
+		CacheSize: *cache,
+		Workers:   *workers,
+		MaxN:      *maxN,
+		SlowQuery: *slowQuery,
+		SlowLog:   os.Stderr,
+		Pprof:     *pprofOn,
+	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err

@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sched"
 )
@@ -75,6 +77,38 @@ type Incremental struct {
 	// backward[i] is the i-th backward placement, times relative to
 	// horizon 0 (first emissions are ≤ 0 and strictly decreasing).
 	backward []sched.ChainTask
+
+	// trace, when non-nil, receives the plan's phase timings: growth
+	// under obs.PhaseConstruct, materialisation under obs.PhaseExtract.
+	// Nil (the default) costs one pointer compare per growth call.
+	trace *obs.SolveTrace
+	stats IncrementalStats
+}
+
+// IncrementalStats is the plan's cumulative query telemetry. Placed is
+// read from the cache length at snapshot time; the counters accumulate
+// per call.
+type IncrementalStats struct {
+	// Fits counts FitWithin evaluations — the chain engine's analogue
+	// of a deadline probe (ScheduleWithin routes through it too).
+	Fits int64
+	// Solves counts schedule materialisations (Schedule and
+	// ScheduleWithin calls).
+	Solves int64
+	// Placed is the number of backward placements constructed so far —
+	// the plan's paid construction work.
+	Placed int64
+}
+
+// SetTrace attaches (or, with nil, detaches) the phase trace growth and
+// materialisation report into. Safe to call between queries only.
+func (inc *Incremental) SetTrace(t *obs.SolveTrace) { inc.trace = t }
+
+// Stats snapshots the plan's cumulative query telemetry.
+func (inc *Incremental) Stats() IncrementalStats {
+	st := inc.stats
+	st.Placed = int64(len(inc.backward))
+	return st
 }
 
 // NewIncremental builds an empty memoized plan for the chain.
@@ -94,9 +128,17 @@ func (inc *Incremental) Len() int { return len(inc.backward) }
 
 // Grow extends the cache to at least k backward placements.
 func (inc *Incremental) Grow(k int) {
+	if len(inc.backward) >= k {
+		return
+	}
+	var t0 time.Time
+	if inc.trace != nil {
+		t0 = time.Now()
+	}
 	for len(inc.backward) < k {
 		inc.backward = append(inc.backward, inc.eng.Extend())
 	}
+	inc.trace.ObserveSince(obs.PhaseConstruct, t0)
 }
 
 // Emission returns the (relative, ≤ 0) first emission of the i-th
@@ -120,6 +162,7 @@ func (inc *Incremental) Backward(i int) sched.ChainTask {
 // deadline, then binary search over the strictly decreasing emissions
 // finds the cut.
 func (inc *Incremental) FitWithin(n int, deadline platform.Time) int {
+	inc.stats.Fits++
 	if n <= 0 || deadline < 0 {
 		return 0
 	}
@@ -164,9 +207,15 @@ func (inc *Incremental) Schedule(n int) (*sched.ChainSchedule, error) {
 // materialise reverses the first k backward placements into emission
 // order, shifted by delta.
 func (inc *Incremental) materialise(k int, delta platform.Time) *sched.ChainSchedule {
+	inc.stats.Solves++
+	var t0 time.Time
+	if inc.trace != nil {
+		t0 = time.Now()
+	}
 	s := &sched.ChainSchedule{Chain: inc.ch, Tasks: make([]sched.ChainTask, k)}
 	for i := 0; i < k; i++ {
 		s.Tasks[k-1-i] = inc.backward[i].Shifted(delta)
 	}
+	inc.trace.ObserveSince(obs.PhaseExtract, t0)
 	return s
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/service"
 	"repro/internal/service/client"
@@ -28,13 +29,18 @@ import (
 // BenchPoint is one measured (family, size) cell. ProbesPerSolve, where
 // present, is the solver's packing-probe telemetry for one cold
 // min-makespan solve of the cell — the deadline-search work the
-// two-sided seeding exists to shrink; the regression comparison ignores
-// it (it is machine-independent context, not a timing).
+// two-sided seeding exists to shrink. PhaseNs, where present, is the
+// phase-by-phase wall-time breakdown (construct, dedup, merge, pack,
+// extract) of one untraced-equivalent extra run of the cell, taken with
+// an obs.SolveTrace OUTSIDE the timed reps so the timed numbers stay
+// hook-free. The regression comparison ignores both (they are context,
+// not timings).
 type BenchPoint struct {
-	Family         string `json:"family"`
-	Size           int    `json:"size"`
-	NsPerOp        int64  `json:"ns_per_op"`
-	ProbesPerSolve int64  `json:"probes_per_solve,omitempty"`
+	Family         string           `json:"family"`
+	Size           int              `json:"size"`
+	NsPerOp        int64            `json:"ns_per_op"`
+	ProbesPerSolve int64            `json:"probes_per_solve,omitempty"`
+	PhaseNs        map[string]int64 `json:"phase_ns,omitempty"`
 }
 
 // BenchBaseline is a dump of the regression families plus a calibration
@@ -52,6 +58,38 @@ type BenchBaseline struct {
 // benchReps is the number of repetitions per cell; the minimum is kept,
 // which is the standard robust estimator for wall-clock microbenchmarks.
 const benchReps = 9
+
+// chainPhases is solvePhases for the chain family: one traced
+// incremental plan build + materialisation.
+func chainPhases(ch platform.Chain, n int) (map[string]int64, error) {
+	inc, err := core.NewIncremental(ch)
+	if err != nil {
+		return nil, err
+	}
+	tr := &obs.SolveTrace{}
+	inc.SetTrace(tr)
+	if _, err := inc.Schedule(n); err != nil {
+		return nil, err
+	}
+	return tr.Snapshot().Map(), nil
+}
+
+// solvePhases runs one extra cold min-makespan solve of a cell with a
+// trace attached and returns its phase breakdown. It runs outside the
+// timed reps: the dump's ns_per_op stays a measurement of the untraced
+// path, and the breakdown is representative context next to it.
+func solvePhases(mk func() (*spider.Solver, error), n int) (map[string]int64, error) {
+	s, err := mk()
+	if err != nil {
+		return nil, err
+	}
+	tr := &obs.SolveTrace{}
+	s.SetTrace(tr)
+	if _, _, err := s.MinMakespan(n); err != nil {
+		return nil, err
+	}
+	return tr.Snapshot().Map(), nil
+}
 
 // minTime returns the minimum wall time of reps runs of fn.
 func minTime(reps int, fn func() error) (time.Duration, error) {
@@ -132,7 +170,11 @@ func MeasureBenchBaseline(reference bool) (*BenchBaseline, error) {
 		if err != nil {
 			return nil, err
 		}
-		b.Points = append(b.Points, BenchPoint{Family: "E5-chain", Size: n, NsPerOp: d.Nanoseconds()})
+		phases, err := chainPhases(ch, n)
+		if err != nil {
+			return nil, err
+		}
+		b.Points = append(b.Points, BenchPoint{Family: "E5-chain", Size: n, NsPerOp: d.Nanoseconds(), PhaseNs: phases})
 	}
 
 	sp := g.Spider(4, 3)
@@ -157,7 +199,15 @@ func MeasureBenchBaseline(reference bool) (*BenchBaseline, error) {
 		if err != nil {
 			return nil, err
 		}
-		b.Points = append(b.Points, BenchPoint{Family: "E5c-spider", Size: n, NsPerOp: d.Nanoseconds(), ProbesPerSolve: probes})
+		pt := BenchPoint{Family: "E5c-spider", Size: n, NsPerOp: d.Nanoseconds(), ProbesPerSolve: probes}
+		if !reference {
+			// The reference solver has no trace hooks; the fast cell's
+			// breakdown comes from one extra traced solve.
+			if pt.PhaseNs, err = solvePhases(func() (*spider.Solver, error) { return spider.NewSolver(sp) }, n); err != nil {
+				return nil, err
+			}
+		}
+		b.Points = append(b.Points, pt)
 	}
 	// E5w-wide: the wide-platform family of the E5w experiment. In
 	// reference mode the probes run the legacy slice-based packer — the
@@ -178,7 +228,11 @@ func MeasureBenchBaseline(reference bool) (*BenchBaseline, error) {
 		if err != nil {
 			return nil, err
 		}
-		b.Points = append(b.Points, BenchPoint{Family: "E5w-wide", Size: n, NsPerOp: d.Nanoseconds(), ProbesPerSolve: probes})
+		pt := BenchPoint{Family: "E5w-wide", Size: n, NsPerOp: d.Nanoseconds(), ProbesPerSolve: probes}
+		if pt.PhaseNs, err = solvePhases(func() (*spider.Solver, error) { return newWideSolver(wide, reference) }, n); err != nil {
+			return nil, err
+		}
+		b.Points = append(b.Points, pt)
 	}
 	// E5p-loop: the warm probe loop. In reference mode the probes run
 	// from scratch — the pre-persistence implementation — freezing the
@@ -205,10 +259,21 @@ func MeasureBenchBaseline(reference bool) (*BenchBaseline, error) {
 		if err != nil {
 			return nil, err
 		}
+		// One extra untimed walk with a trace attached gives the warm
+		// loop's own phase breakdown (the timed reps stay hook-free).
+		tr := &obs.SolveTrace{}
+		s.SetTrace(tr)
+		before := tr.Snapshot()
+		for _, dl := range walk {
+			if _, err := s.MaxTasks(probeLoopN, dl); err != nil {
+				return nil, err
+			}
+		}
 		b.Points = append(b.Points, BenchPoint{
 			Family: "E5p-loop", Size: legs,
 			NsPerOp:        d.Nanoseconds() / int64(len(walk)),
 			ProbesPerSolve: probes,
+			PhaseNs:        tr.Snapshot().Sub(before).Map(),
 		})
 	}
 	// E6-cold: cold construction — one min-makespan solve on a fresh
@@ -237,7 +302,11 @@ func MeasureBenchBaseline(reference bool) (*BenchBaseline, error) {
 			if err != nil {
 				return nil, err
 			}
-			b.Points = append(b.Points, BenchPoint{Family: cell.family, Size: legs, NsPerOp: d.Nanoseconds()})
+			pt := BenchPoint{Family: cell.family, Size: legs, NsPerOp: d.Nanoseconds()}
+			if pt.PhaseNs, err = solvePhases(func() (*spider.Solver, error) { return newColdSolver(csp, !reference) }, coldN); err != nil {
+				return nil, err
+			}
+			b.Points = append(b.Points, pt)
 		}
 	}
 	// SVC-tree draws its platform from a dedicated generator so the

@@ -2,7 +2,9 @@ package fork
 
 import (
 	"fmt"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/platform"
 )
 
@@ -56,6 +58,11 @@ type ProbePacker struct {
 	tailFull bool          // the recorded run stopped on a filled budget
 	superset bool          // admitted-so-far ⊇ the tail's admitted-so-far
 	subset   bool          // admitted-so-far ⊆ the tail's admitted-so-far
+
+	// trace, when non-nil, receives Rewind timings under obs.PhasePack.
+	// spider.Solver leaves it nil — the solver times the whole probe body
+	// itself — so this hook serves direct packer users.
+	trace *obs.SolveTrace
 }
 
 // probeEntry is one recorded admission decision: the candidate and the
@@ -86,6 +93,10 @@ func NewProbePacker() *ProbePacker {
 // recorded run exists at all.
 func (pp *ProbePacker) Recorded() (n int, ok bool) { return pp.pk.n, pp.valid }
 
+// SetTrace attaches (or, with nil, detaches) a phase trace Rewind
+// reports into. Safe to call between probes only.
+func (pp *ProbePacker) SetTrace(t *obs.SolveTrace) { pp.trace = t }
+
 // Rewind prepares the packer for a probe with task budget n at the
 // given deadline. change is the earliest candidate, in admission order,
 // at which the new candidate stream differs from the recorded one (nil
@@ -107,6 +118,11 @@ func (pp *ProbePacker) Recorded() (n int, ok bool) { return pp.pk.n, pp.valid }
 // probe and no candidates need to be offered; retained is the number of
 // recorded decisions kept (0 after a reset).
 func (pp *ProbePacker) Rewind(n int, deadline platform.Time, change *platform.VirtualSlave, consumed []int) (done bool, retained int, err error) {
+	var t0 time.Time
+	if pp.trace != nil {
+		t0 = time.Now()
+		defer pp.trace.ObserveSince(obs.PhasePack, t0)
+	}
 	if deadline < 0 {
 		return false, 0, fmt.Errorf("fork: negative deadline %d", deadline)
 	}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// DefaultLatencyBuckets are the fixed histogram bucket upper bounds in
+// nanoseconds: a 1–2.5–5 ladder from 1µs to 10s. Solve latencies in
+// this repository span warm memo hits (sub-µs HTTP aside) to cold
+// 1024-leg constructions (~100ms), so the ladder brackets the whole
+// range with ~15% worst-case quantile error per decade step.
+var DefaultLatencyBuckets = []int64{
+	1_000, 2_500, 5_000, // 1µs..5µs
+	10_000, 25_000, 50_000, // 10µs..50µs
+	100_000, 250_000, 500_000, // 100µs..500µs
+	1_000_000, 2_500_000, 5_000_000, // 1ms..5ms
+	10_000_000, 25_000_000, 50_000_000, // 10ms..50ms
+	100_000_000, 250_000_000, 500_000_000, // 100ms..500ms
+	1_000_000_000, 2_500_000_000, 5_000_000_000, // 1s..5s
+	10_000_000_000, // 10s
+}
+
+// Histogram is a fixed-bucket latency histogram. Observation is
+// lock-free — one atomic add into the bucket plus sum/count — so it sits
+// on the serving path; snapshots fold the buckets into count, sum and
+// p50/p95/p99 estimates. The zero Histogram is not ready; use
+// NewHistogram or Registry.Histogram.
+type Histogram struct {
+	// bounds are the inclusive upper bounds of counts[0..len(bounds)-1];
+	// counts[len(bounds)] is the overflow (+Inf) bucket.
+	bounds []int64
+	counts []atomic.Uint64
+	sum    atomic.Int64
+	count  atomic.Uint64
+}
+
+// NewHistogram returns a histogram over the given ascending bucket
+// upper bounds; nil means DefaultLatencyBuckets.
+func NewHistogram(bounds []int64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bucket bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value (nanoseconds for latency histograms).
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// HistogramSnapshot is a point-in-time folding of a histogram: the raw
+// cumulative buckets plus the derived quantile estimates.
+type HistogramSnapshot struct {
+	Count uint64 `json:"count"`
+	Sum   int64  `json:"sum"`
+	// P50/P95/P99 are upper-bound estimates: the smallest bucket bound
+	// whose cumulative count reaches the quantile (the true quantile is
+	// at most this). -1 when the histogram is empty.
+	P50 int64 `json:"p50"`
+	P95 int64 `json:"p95"`
+	P99 int64 `json:"p99"`
+	// Bounds and Cumulative are the exposition-format buckets: Cumulative[i]
+	// counts observations ≤ Bounds[i]; the final +Inf bucket equals Count.
+	Bounds     []int64  `json:"-"`
+	Cumulative []uint64 `json:"-"`
+}
+
+// Snapshot folds the current buckets. Concurrent observers may land
+// between the bucket reads, so a snapshot under load is approximate
+// (each bucket is exact; their sum may trail Count by in-flight
+// observations) — the hammer test asserts exactness once writers stop.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds:     h.bounds,
+		Cumulative: make([]uint64, len(h.counts)),
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		s.Cumulative[i] = cum
+	}
+	// Count/Sum are read after the buckets: observations completing
+	// mid-snapshot can only make Count ≥ the buckets' total, never less.
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	total := s.Cumulative[len(s.Cumulative)-1]
+	s.P50 = h.quantile(s.Cumulative, total, 0.50)
+	s.P95 = h.quantile(s.Cumulative, total, 0.95)
+	s.P99 = h.quantile(s.Cumulative, total, 0.99)
+	return s
+}
+
+// quantile returns the smallest bucket upper bound covering the q-th
+// quantile of the folded counts; observations in the overflow bucket
+// report the largest finite bound (the estimate saturates).
+func (h *Histogram) quantile(cum []uint64, total uint64, q float64) int64 {
+	if total == 0 {
+		return -1
+	}
+	rank := uint64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	for i, c := range cum {
+		if c >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}

@@ -1,0 +1,312 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"slices"
+	"strconv"
+	"strings"
+)
+
+// This file is a minimal validating parser for the Prometheus text
+// exposition format — enough to assert that what WritePrometheus (and
+// hence the service's /metrics endpoint) emits is well-formed and to
+// let tests look up individual sample values. It deliberately lives in
+// the non-test tree: the service's HTTP tests and the CI e2e scrape
+// share it.
+
+// Sample is one parsed exposition line: a metric instance and its value.
+type Sample struct {
+	// Name is the sample name as written (histogram expansions keep
+	// their _bucket/_sum/_count suffixes).
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Exposition is a parsed scrape.
+type Exposition struct {
+	Samples []Sample
+	// Types maps family name to the declared TYPE.
+	Types map[string]string
+}
+
+// Find returns the samples with the given name.
+func (e *Exposition) Find(name string) []Sample {
+	var out []Sample
+	for _, s := range e.Samples {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Value returns the single sample with the given name whose labels all
+// match want (extra labels on the sample are allowed); it errors when
+// no sample or several match.
+func (e *Exposition) Value(name string, want map[string]string) (float64, error) {
+	var found []Sample
+next:
+	for _, s := range e.Samples {
+		if s.Name != name {
+			continue
+		}
+		for k, v := range want {
+			if s.Labels[k] != v {
+				continue next
+			}
+		}
+		found = append(found, s)
+	}
+	if len(found) != 1 {
+		return 0, fmt.Errorf("obs: %d samples match %s%v, want exactly 1", len(found), name, want)
+	}
+	return found[0].Value, nil
+}
+
+// ParseExposition parses and validates a text-format scrape: every
+// non-comment line must be `name[{labels}] value`, names and labels
+// must be well-formed, TYPE declarations must precede their samples,
+// and histogram bucket series must be cumulative with a trailing +Inf
+// bucket matching _count. It returns the parsed samples, or the first
+// format violation.
+func ParseExposition(r io.Reader) (*Exposition, error) {
+	e := &Exposition{Types: make(map[string]string)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				name, typ := fields[2], fields[3]
+				if !metricName.MatchString(name) {
+					return nil, fmt.Errorf("obs: line %d: invalid family name %q", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("obs: line %d: invalid type %q", lineNo, typ)
+				}
+				if _, dup := e.Types[name]; dup {
+					return nil, fmt.Errorf("obs: line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				e.Types[name] = typ
+			}
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		if fam := familyOf(s.Name, e.Types); fam == "" {
+			return nil, fmt.Errorf("obs: line %d: sample %q precedes its TYPE declaration", lineNo, s.Name)
+		}
+		e.Samples = append(e.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return e, e.checkHistograms()
+}
+
+// familyOf maps a sample name to its declared family, accounting for
+// histogram expansion suffixes.
+func familyOf(name string, types map[string]string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suffix)
+		if ok && types[base] == "histogram" {
+			return base
+		}
+	}
+	return ""
+}
+
+// parseSampleLine parses `name[{labels}] value`.
+func parseSampleLine(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	var nameEnd int
+	if brace >= 0 {
+		nameEnd = brace
+	} else if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		nameEnd = sp
+	} else {
+		return s, fmt.Errorf("no value on sample line %q", line)
+	}
+	s.Name = rest[:nameEnd]
+	if !metricName.MatchString(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	rest = rest[nameEnd:]
+	if brace >= 0 {
+		end := strings.IndexByte(rest, '}')
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// A timestamp may follow the value; the registry never writes one,
+	// so reject trailing fields outright.
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		if strings.TrimSpace(rest) == "+Inf" || strings.TrimSpace(rest) == "-Inf" || strings.TrimSpace(rest) == "NaN" {
+			return s, nil
+		}
+		return s, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses `k="v",k2="v2"` into out.
+func parseLabels(in string, out map[string]string) error {
+	for len(in) > 0 {
+		eq := strings.IndexByte(in, '=')
+		if eq < 0 {
+			return fmt.Errorf("label without value in %q", in)
+		}
+		name := in[:eq]
+		if !labelName.MatchString(name) && name != "le" {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+		in = in[eq+1:]
+		if len(in) == 0 || in[0] != '"' {
+			return fmt.Errorf("unquoted label value for %q", name)
+		}
+		in = in[1:]
+		var sb strings.Builder
+		closed := false
+		for i := 0; i < len(in); i++ {
+			c := in[i]
+			if c == '\\' {
+				if i+1 >= len(in) {
+					return fmt.Errorf("dangling escape in label %q", name)
+				}
+				i++
+				switch in[i] {
+				case '\\':
+					sb.WriteByte('\\')
+				case '"':
+					sb.WriteByte('"')
+				case 'n':
+					sb.WriteByte('\n')
+				default:
+					return fmt.Errorf("invalid escape \\%c in label %q", in[i], name)
+				}
+				continue
+			}
+			if c == '"' {
+				closed = true
+				in = in[i+1:]
+				break
+			}
+			sb.WriteByte(c)
+		}
+		if !closed {
+			return fmt.Errorf("unterminated value for label %q", name)
+		}
+		if _, dup := out[name]; dup {
+			return fmt.Errorf("duplicate label %q", name)
+		}
+		out[name] = sb.String()
+		in = strings.TrimPrefix(in, ",")
+	}
+	return nil
+}
+
+// checkHistograms validates every histogram family: per instance the
+// bucket counts must be non-decreasing in le, end with a +Inf bucket,
+// and agree with the instance's _count.
+func (e *Exposition) checkHistograms() error {
+	type inst struct {
+		lastLe    float64
+		lastCount float64
+		sawInf    bool
+		infCount  float64
+		started   bool
+	}
+	instances := map[string]*inst{}
+	counts := map[string]float64{}
+	instKey := func(s Sample, drop string) string {
+		var sb strings.Builder
+		sb.WriteString(familyOf(s.Name, e.Types))
+		keys := make([]string, 0, len(s.Labels))
+		for k := range s.Labels {
+			if k != drop {
+				keys = append(keys, k)
+			}
+		}
+		for _, k := range sortedCopy(keys) {
+			fmt.Fprintf(&sb, "|%s=%s", k, s.Labels[k])
+		}
+		return sb.String()
+	}
+	for _, s := range e.Samples {
+		fam := familyOf(s.Name, e.Types)
+		if e.Types[fam] != "histogram" {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			key := instKey(s, "le")
+			in := instances[key]
+			if in == nil {
+				in = &inst{}
+				instances[key] = in
+			}
+			le := s.Labels["le"]
+			if le == "" {
+				return fmt.Errorf("obs: histogram bucket of %s without le label", fam)
+			}
+			if le == "+Inf" {
+				in.sawInf, in.infCount = true, s.Value
+			} else {
+				b, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return fmt.Errorf("obs: bad le %q on %s: %v", le, fam, err)
+				}
+				if in.started && b <= in.lastLe {
+					return fmt.Errorf("obs: %s buckets out of order at le=%q", fam, le)
+				}
+				in.lastLe = b
+			}
+			if s.Value < in.lastCount {
+				return fmt.Errorf("obs: %s bucket counts not cumulative at le=%q", fam, le)
+			}
+			in.lastCount, in.started = s.Value, true
+		case strings.HasSuffix(s.Name, "_count"):
+			counts[instKey(s, "")] = s.Value
+		}
+	}
+	for key, in := range instances {
+		if !in.sawInf {
+			return fmt.Errorf("obs: histogram instance %q has no +Inf bucket", key)
+		}
+		if c, ok := counts[key]; ok && c != in.infCount {
+			return fmt.Errorf("obs: histogram instance %q: +Inf bucket %v != _count %v", key, in.infCount, c)
+		}
+	}
+	return nil
+}
+
+func sortedCopy(in []string) []string {
+	out := append([]string(nil), in...)
+	slices.Sort(out)
+	return out
+}

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative deltas are a programming error and panic, since
+// a counter that goes down breaks every rate() a dashboard computes.
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("obs: negative counter delta %d", n))
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the value by n (negative deltas allowed).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// metricName validates Prometheus metric names; label names follow the
+// same grammar minus the colon.
+var (
+	metricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelName  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// metricKey identifies one metric instance: the family name plus its
+// canonical (sorted, rendered) label set.
+type metricKey struct {
+	name   string
+	labels string
+}
+
+// family is one exported metric family: every instance shares the name,
+// help text and value type.
+type family struct {
+	name string
+	help string
+	typ  string // "counter" | "gauge" | "histogram"
+}
+
+// Registry holds metric instances by (name, labels) and renders them in
+// the Prometheus text exposition format. Lookup methods are idempotent —
+// the same (name, labels) always returns the same instance — and safe
+// for concurrent use, but they take a lock: hot paths fetch their
+// metrics once and keep the pointers. Mixing value types under one name
+// panics (a metric family has exactly one type).
+type Registry struct {
+	mu         sync.RWMutex
+	families   map[string]*family
+	counters   map[metricKey]*Counter
+	gauges     map[metricKey]*Gauge
+	gaugeFuncs map[metricKey]func() int64
+	hists      map[metricKey]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		families:   make(map[string]*family),
+		counters:   make(map[metricKey]*Counter),
+		gauges:     make(map[metricKey]*Gauge),
+		gaugeFuncs: make(map[metricKey]func() int64),
+		hists:      make(map[metricKey]*Histogram),
+	}
+}
+
+// key canonicalises the label pairs and registers the family, enforcing
+// name/label validity and per-family type consistency.
+func (r *Registry) key(name, help, typ string, labelPairs []string) metricKey {
+	if !metricName.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	if len(labelPairs)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label pairs for %s: %v", name, labelPairs))
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(labelPairs)/2)
+	for i := 0; i < len(labelPairs); i += 2 {
+		if !labelName.MatchString(labelPairs[i]) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %s", labelPairs[i], name))
+		}
+		kvs = append(kvs, kv{labelPairs[i], labelPairs[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var sb strings.Builder
+	for i, p := range kvs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(p.k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(p.v))
+		sb.WriteByte('"')
+	}
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ {
+			panic(fmt.Sprintf("obs: metric %s registered as %s and %s", name, f.typ, typ))
+		}
+		if help != "" && f.help == "" {
+			f.help = help
+		}
+	} else {
+		r.families[name] = &family{name: name, help: help, typ: typ}
+	}
+	return metricKey{name: name, labels: sb.String()}
+}
+
+// escapeLabel escapes a label value per the text exposition format:
+// backslash, double quote and newline are the only escapes it defines.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// Counter returns the counter instance for (name, labels), creating it
+// on first use. labelPairs alternate name, value.
+func (r *Registry) Counter(name, help string, labelPairs ...string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := r.key(name, help, "counter", labelPairs)
+	c, ok := r.counters[k]
+	if !ok {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge instance for (name, labels), creating it on
+// first use.
+func (r *Registry) Gauge(name, help string, labelPairs ...string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := r.key(name, help, "gauge", labelPairs)
+	g, ok := r.gauges[k]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time —
+// uptime, cache entry counts and other values that already live
+// elsewhere. Re-registering the same (name, labels) replaces the
+// function. fn must be safe to call concurrently with anything.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64, labelPairs ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := r.key(name, help, "gauge", labelPairs)
+	r.gaugeFuncs[k] = fn
+}
+
+// Histogram returns the histogram instance for (name, labels), creating
+// it with DefaultLatencyBuckets on first use.
+func (r *Registry) Histogram(name, help string, labelPairs ...string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := r.key(name, help, "histogram", labelPairs)
+	h, ok := r.hists[k]
+	if !ok {
+		h = NewHistogram(nil)
+		r.hists[k] = h
+	}
+	return h
+}
+
+// HistogramSnapshots returns every histogram instance's snapshot keyed
+// by "name{labels}" — the JSON-side view of the latency data (/stats
+// consumers and tests).
+func (r *Registry) HistogramSnapshots() map[string]HistogramSnapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]HistogramSnapshot, len(r.hists))
+	for k, h := range r.hists {
+		name := k.name
+		if k.labels != "" {
+			name += "{" + k.labels + "}"
+		}
+		out[name] = h.Snapshot()
+	}
+	return out
+}

@@ -83,6 +83,33 @@ type Meta struct {
 	// SolveNs is the wall time of the solve this response came from; 0
 	// for memo hits.
 	SolveNs int64 `json:"solve_ns"`
+	// Cost is the solve-cost breakdown of the solve this response came
+	// from: probe counts and per-phase wall time. Memo hits carry an
+	// all-zero cost (nothing ran); coalesced joiners share the leading
+	// query's cost.
+	Cost *Cost `json:"cost,omitempty"`
+}
+
+// Cost is the per-response solve-cost metadata: what THIS query spent,
+// as deltas of the warmed solver's cumulative telemetry taken under the
+// entry lock. The first query after a solver construction includes the
+// construction it paid for (leg dedup, tree cover, plan growth).
+type Cost struct {
+	// Probes counts the deadline-search feasibility probes this query
+	// ran (for chains: FitWithin evaluations).
+	Probes int `json:"probes"`
+	// PackProbes counts the probes that ran packing work — the
+	// expensive kind.
+	PackProbes int `json:"pack_probes,omitempty"`
+	// RewindHits counts persistent probes answered entirely from the
+	// recorded decision log.
+	RewindHits int `json:"rewind_hits,omitempty"`
+	// Constructed counts the backward placements built by this query —
+	// construction work that warm repeats will reuse.
+	Constructed int64 `json:"constructed,omitempty"`
+	// PhaseNs is the per-phase wall-time breakdown (construct, dedup,
+	// merge, pack, extract), in nanoseconds; zero phases are omitted.
+	PhaseNs map[string]int64 `json:"phase_ns,omitempty"`
 }
 
 // Response is one /solve answer.
@@ -120,6 +147,8 @@ type Stats struct {
 	Evictions uint64 `json:"evictions"`
 	// Entries is the current number of warmed solvers.
 	Entries int `json:"entries"`
+	// UptimeSeconds is the time since the service started.
+	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
 // NewChainRequest builds a /solve request for a chain.

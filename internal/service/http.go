@@ -5,6 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
 )
 
 // maxRequestBytes bounds a /solve body; a platform description is tiny,
@@ -15,15 +18,24 @@ const maxRequestBytes = 16 << 20
 //
 //	POST /solve   — one Request in, one Response out (JSON)
 //	GET  /stats   — aggregate counters (Stats, JSON)
-//	GET  /healthz — liveness probe
+//	GET  /metrics — Prometheus text exposition of the metric registry
+//	GET  /healthz — liveness probe: build info and uptime (Health, JSON)
+//
+// With Config.Pprof set, the standard net/http/pprof handlers mount
+// under /debug/pprof/.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/solve", s.handleSolve)
 	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	if s.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -73,4 +85,36 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET the metrics"})
+		return
+	}
+	w.Header().Set("Content-Type", metricsContentType)
+	_ = s.m.reg.WritePrometheus(w) // headers are out; nothing to do on error
+}
+
+// Health is the GET /healthz body: liveness plus enough build identity
+// to tell WHAT is live.
+type Health struct {
+	Status        string  `json:"status"`
+	GoVersion     string  `json:"go_version"`
+	Module        string  `json:"module,omitempty"`
+	ModuleVersion string  `json:"module_version,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := Health{
+		Status:        "ok",
+		GoVersion:     runtime.Version(),
+		UptimeSeconds: s.uptime().Seconds(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		h.Module = bi.Main.Path
+		h.ModuleVersion = bi.Main.Version
+	}
+	writeJSON(w, http.StatusOK, h)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/spider"
@@ -20,10 +21,15 @@ import (
 // unchanged. Trees were the first kind to land this way.
 
 // backend is one warmed solver behind a cache entry. answer runs a
-// parsed query against it; implementations are not safe for concurrent
-// use (the entry mutex serialises callers).
+// parsed query against it; setTrace attaches the entry's phase trace;
+// probeStats snapshots the solver's cumulative telemetry in the shared
+// ProbeStats shape (chains map their incremental counters onto it).
+// Implementations are not safe for concurrent use (the entry mutex
+// serialises callers).
 type backend interface {
 	answer(q *query) (*solved, error)
+	setTrace(t *obs.SolveTrace)
+	probeStats() spider.ProbeStats
 }
 
 // kindHandler describes one wire platform kind.
@@ -149,6 +155,21 @@ type chainBackend struct {
 	inc *core.Incremental
 }
 
+func (b *chainBackend) setTrace(t *obs.SolveTrace) { b.inc.SetTrace(t) }
+
+// probeStats maps the incremental plan's counters onto the shared
+// shape: FitWithin evaluations are the chain analogue of probes, the
+// cached backward placements the paid construction work.
+func (b *chainBackend) probeStats() spider.ProbeStats {
+	st := b.inc.Stats()
+	return spider.ProbeStats{
+		Solves:      int(st.Solves),
+		Probes:      int(st.Fits),
+		CountChecks: int(st.Fits),
+		Constructed: st.Placed,
+	}
+}
+
 func (b *chainBackend) answer(q *query) (*solved, error) {
 	n, dl, wantSched := q.req.N, q.req.Deadline, q.req.IncludeSchedule
 	sol := &solved{}
@@ -192,6 +213,8 @@ type spiderish interface {
 	MinMakespan(n int) (platform.Time, *sched.SpiderSchedule, error)
 	MaxTasks(n int, deadline platform.Time) (int, error)
 	ScheduleWithin(n int, deadline platform.Time) (*sched.SpiderSchedule, error)
+	SetTrace(t *obs.SolveTrace)
+	Stats() spider.ProbeStats
 }
 
 // spiderishBackend answers queries whose schedules are expressed on a
@@ -201,6 +224,9 @@ type spiderishBackend struct {
 	s     spiderish
 	remap func(q *query, sch *sched.SpiderSchedule) error
 }
+
+func (b *spiderishBackend) setTrace(t *obs.SolveTrace)    { b.s.SetTrace(t) }
+func (b *spiderishBackend) probeStats() spider.ProbeStats { return b.s.Stats() }
 
 func (b *spiderishBackend) answer(q *query) (*solved, error) {
 	n, dl, wantSched := q.req.N, q.req.Deadline, q.req.IncludeSchedule

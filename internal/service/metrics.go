@@ -1,0 +1,95 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// metricsContentType is GET /metrics' Content-Type.
+const metricsContentType = obs.ExpositionContentType
+
+// metrics is the service's registry façade. Every aggregate counter the
+// service maintains lives in the obs.Registry — the source of truth
+// behind both GET /metrics and GET /stats — and the pointers are
+// resolved once at New so the serving paths never take the registry
+// lock. That matters beyond speed: the entries/uptime gauges are
+// GaugeFuncs that take s.mu during exposition (registry read lock
+// held), so performing a registry lookup while holding s.mu would be a
+// lock-order inversion. The per-(kind, op, cache) histograms and
+// per-(kind, phase) counters are looked up per solve, which only ever
+// happens outside s.mu.
+type metrics struct {
+	reg *obs.Registry
+
+	hits          *obs.Counter
+	misses        *obs.Counter
+	coalesced     *obs.Counter
+	memoHits      *obs.Counter
+	constructions *obs.Counter
+	evictions     *obs.Counter
+	slowQueries   *obs.Counter
+	inflight      *obs.Gauge
+}
+
+func newMetrics(s *Service) *metrics {
+	r := obs.NewRegistry()
+	m := &metrics{
+		reg:           r,
+		hits:          r.Counter("repro_service_hits_total", "queries answered by an already-warmed solver"),
+		misses:        r.Counter("repro_service_misses_total", "queries that found no warmed solver"),
+		coalesced:     r.Counter("repro_service_coalesced_total", "queries that joined an identical in-flight query"),
+		memoHits:      r.Counter("repro_service_memo_hits_total", "scalar queries answered from a warmed solver's result memo"),
+		constructions: r.Counter("repro_service_constructions_total", "warmed solver builds"),
+		evictions:     r.Counter("repro_service_evictions_total", "warmed solvers dropped by the LRU"),
+		slowQueries:   r.Counter("repro_service_slow_queries_total", "solves at or above the configured slow-query threshold"),
+		inflight:      r.Gauge("repro_service_inflight", "requests currently being answered"),
+	}
+	r.GaugeFunc("repro_service_entries", "warmed solvers currently cached", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(s.lru.Len())
+	})
+	r.GaugeFunc("repro_service_uptime_seconds", "seconds since the service started", func() int64 {
+		return int64(s.uptime().Seconds())
+	})
+	return m
+}
+
+// solveHist returns the solve-duration histogram of one (platform kind,
+// op, cache disposition) cell; cache is "hit" (warm) or "miss" (cold).
+func (m *metrics) solveHist(kind string, op Op, cache string) *obs.Histogram {
+	return m.reg.Histogram("repro_solve_duration_ns",
+		"wall time of one solve in nanoseconds, by platform kind, op and cache disposition",
+		"kind", kind, "op", string(op), "cache", cache)
+}
+
+// phaseCounter returns the cumulative phase-time counter of one
+// (platform kind, solve phase) cell.
+func (m *metrics) phaseCounter(kind string, p obs.Phase) *obs.Counter {
+	return m.reg.Counter("repro_solve_phase_ns_total",
+		"cumulative solve wall time in nanoseconds, by platform kind and solve phase",
+		"kind", kind, "phase", p.String())
+}
+
+// formatPhases renders a cost block's phase map in canonical phase
+// order, for the slow-query log: "construct:123,pack:456". Empty maps
+// render as "-".
+func formatPhases(phases map[string]int64) string {
+	if len(phases) == 0 {
+		return "-"
+	}
+	var sb strings.Builder
+	for _, p := range obs.Phases() {
+		ns, ok := phases[p.String()]
+		if !ok {
+			continue
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s:%d", p, ns)
+	}
+	return sb.String()
+}

@@ -8,12 +8,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"os"
 	"runtime"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sched"
+	"repro/internal/spider"
 )
 
 // Config sizes the service.
@@ -27,21 +31,35 @@ type Config struct {
 	// MaxN rejects queries whose task count exceeds it, bounding the
 	// memory one query can pin in a warmed plan. Default 1 << 20.
 	MaxN int
+	// SlowQuery, when positive, logs every solve whose wall time
+	// reaches it — one line carrying the platform hash, cache
+	// disposition, probe counts and phase breakdown, matching the
+	// response's cost block. Zero disables the log.
+	SlowQuery time.Duration
+	// SlowLog receives the slow-query lines; nil means os.Stderr.
+	SlowLog io.Writer
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the Handler.
+	// Off by default: the profiler exposes internals and costs a little
+	// on every allocation when profiled.
+	Pprof bool
 }
 
 // Service answers scheduling queries from an LRU cache of warmed
 // solvers keyed by the canonical platform fingerprint. It is safe for
 // concurrent use.
 type Service struct {
-	cfg Config
-	sem chan struct{} // worker slots: held during constructions and solves
+	cfg   Config
+	sem   chan struct{} // worker slots: held during constructions and solves
+	start time.Time
+	m     *metrics
 
 	mu       sync.Mutex
 	entries  map[ckey]*list.Element // -> *entry in lru
 	lru      *list.List             // front = most recently used
 	flight   map[string]*call       // identical in-flight queries
 	building map[ckey]*construction // in-flight solver builds
-	stats    Stats
+
+	slowMu sync.Mutex // serialises slow-query log lines
 
 	// testHookBuild, when non-nil, runs at the start of every solver
 	// construction. It is a test seam: holding the hook open keeps the
@@ -61,15 +79,28 @@ func New(cfg Config) *Service {
 	if cfg.MaxN <= 0 {
 		cfg.MaxN = 1 << 20
 	}
-	return &Service{
+	if cfg.SlowLog == nil {
+		cfg.SlowLog = os.Stderr
+	}
+	s := &Service{
 		cfg:      cfg,
 		sem:      make(chan struct{}, cfg.Workers),
+		start:    time.Now(),
 		entries:  make(map[ckey]*list.Element),
 		lru:      list.New(),
 		flight:   make(map[string]*call),
 		building: make(map[ckey]*construction),
 	}
+	s.m = newMetrics(s)
+	return s
 }
+
+// Metrics returns the service's metric registry — the source of truth
+// behind GET /metrics and the counter half of Stats.
+func (s *Service) Metrics() *obs.Registry { return s.m.reg }
+
+// uptime is the time since New.
+func (s *Service) uptime() time.Duration { return time.Since(s.start) }
 
 // ckey is the cache key: the canonical fingerprint plus the solver
 // kind (kindHandler.solverKind). The kind matters because a chain and
@@ -88,12 +119,22 @@ type ckey struct {
 // deterministically — and must be set before the service takes traffic.
 func (s *Service) SetBuildHookForTest(hook func()) { s.testHookBuild = hook }
 
-// Stats returns a snapshot of the aggregate counters.
+// Stats returns a snapshot of the aggregate counters, read back from
+// the metric registry (the counters' single home since /metrics
+// landed).
 func (s *Service) Stats() Stats {
+	st := Stats{
+		Hits:          uint64(s.m.hits.Value()),
+		Misses:        uint64(s.m.misses.Value()),
+		Coalesced:     uint64(s.m.coalesced.Value()),
+		MemoHits:      uint64(s.m.memoHits.Value()),
+		Constructions: uint64(s.m.constructions.Value()),
+		Evictions:     uint64(s.m.evictions.Value()),
+		UptimeSeconds: s.uptime().Seconds(),
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.stats
 	st.Entries = s.lru.Len()
+	s.mu.Unlock()
 	return st
 }
 
@@ -123,11 +164,21 @@ type construction struct {
 // concurrent use, so answers serialise on mu. memo caches the scalar
 // result of every query already answered by this solver, so an exact
 // repeat skips even the warm binary search.
+//
+// trace is the entry's phase trace, attached at construction; lastSnap
+// and lastStats are the previous read points, so each solve's cost
+// block carries exactly its own delta (the entry mutex serialises the
+// read-modify-write). The first solve after construction inherits the
+// construction-time flushes — a cold query's cost shows the build it
+// paid for.
 type entry struct {
-	key  ckey
-	mu   sync.Mutex
-	be   backend
-	memo map[memoKey]memoVal
+	key       ckey
+	mu        sync.Mutex
+	be        backend
+	memo      map[memoKey]memoVal
+	trace     *obs.SolveTrace
+	lastSnap  obs.PhaseSnapshot
+	lastStats spider.ProbeStats
 }
 
 // memoKey identifies one scalar query against a warmed solver. The
@@ -228,6 +279,8 @@ func (s *Service) parse(req *Request) (*query, error) {
 // Solve answers one query, coalescing with identical in-flight queries
 // and reusing (or constructing) the warmed solver for the platform.
 func (s *Service) Solve(req *Request) (resp *Response, err error) {
+	s.m.inflight.Add(1)
+	defer s.m.inflight.Add(-1)
 	q, err := s.parse(req)
 	if err != nil {
 		return nil, err
@@ -236,7 +289,7 @@ func (s *Service) Solve(req *Request) (resp *Response, err error) {
 	s.mu.Lock()
 	if c, ok := s.flight[q.flightKey]; ok {
 		// An identical query is already solving: join it.
-		s.stats.Coalesced++
+		s.m.coalesced.Inc()
 		s.mu.Unlock()
 		<-c.done
 		if c.err != nil {
@@ -271,13 +324,13 @@ func (s *Service) solveLeading(q *query) (*Response, error) {
 	if el, ok := s.entries[q.key]; ok {
 		s.lru.MoveToFront(el)
 		e = el.Value.(*entry)
-		s.stats.Hits++
+		s.m.hits.Inc()
 		cache = "hit"
 		s.mu.Unlock()
 	} else if b, ok := s.building[q.key]; ok {
 		// A different query is already building this platform's
 		// solver: wait for it rather than constructing twice.
-		s.stats.Misses++
+		s.m.misses.Inc()
 		s.mu.Unlock()
 		<-b.done
 		if b.err != nil {
@@ -287,7 +340,7 @@ func (s *Service) solveLeading(q *query) (*Response, error) {
 	} else {
 		b := &construction{done: make(chan struct{})}
 		s.building[q.key] = b
-		s.stats.Misses++
+		s.m.misses.Inc()
 		s.mu.Unlock()
 		b.e, b.err = s.construct(q)
 		s.mu.Lock()
@@ -307,6 +360,8 @@ func (s *Service) solveLeading(q *query) (*Response, error) {
 	// repeat of a scalar query resolves from the memo inside the entry
 	// mutex alone — no worker slot, no solve.
 	var solveNs int64
+	var cost *Cost
+	var phaseDelta obs.PhaseSnapshot
 	memoK, memoable := memoKeyFor(q)
 	memoHit := false
 	sol, err := func() (*solved, error) {
@@ -315,14 +370,29 @@ func (s *Service) solveLeading(q *query) (*Response, error) {
 		if memoable {
 			if v, ok := e.memo[memoK]; ok {
 				memoHit = true
+				cost = &Cost{}
 				return &solved{tasks: v.tasks, makespan: v.makespan}, nil
 			}
 		}
 		s.sem <- struct{}{}
 		defer func() { <-s.sem }()
 		start := time.Now()
-		defer func() { solveNs = time.Since(start).Nanoseconds() }()
 		sol, err := e.be.answer(q)
+		solveNs = time.Since(start).Nanoseconds()
+		// The entry's cost delta — still under e.mu, so the
+		// read-modify-write of the last read points is exclusive.
+		snap := e.trace.Snapshot()
+		phaseDelta = snap.Sub(e.lastSnap)
+		e.lastSnap = snap
+		pst := e.be.probeStats()
+		cost = &Cost{
+			Probes:      pst.Probes - e.lastStats.Probes,
+			PackProbes:  pst.PackProbes - e.lastStats.PackProbes,
+			RewindHits:  pst.RewindHits - e.lastStats.RewindHits,
+			Constructed: pst.Constructed - e.lastStats.Constructed,
+			PhaseNs:     phaseDelta.Map(),
+		}
+		e.lastStats = pst
 		if err == nil && memoable {
 			if e.memo == nil {
 				e.memo = make(map[memoKey]memoVal)
@@ -336,16 +406,42 @@ func (s *Service) solveLeading(q *query) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
+	kind := q.key.kind
 	if memoHit {
-		s.mu.Lock()
-		s.stats.MemoHits++
-		s.mu.Unlock()
+		s.m.memoHits.Inc()
+	} else {
+		s.m.solveHist(kind, q.req.Op, cache).Observe(solveNs)
+		for _, p := range obs.Phases() {
+			if ns := phaseDelta.Ns[p]; ns > 0 {
+				s.m.phaseCounter(kind, p).Add(ns)
+			}
+		}
 	}
 	resp, err := s.respond(q, sol, cache, solveNs)
-	if err == nil {
-		resp.Meta.Memo = memoHit
+	if err != nil {
+		return nil, err
 	}
-	return resp, err
+	resp.Meta.Memo = memoHit
+	resp.Meta.Cost = cost
+	if s.cfg.SlowQuery > 0 && time.Duration(solveNs) >= s.cfg.SlowQuery {
+		s.m.slowQueries.Inc()
+		s.logSlow(q, resp)
+	}
+	return resp, nil
+}
+
+// logSlow writes one slow-query line. Every number repeats the
+// response's own meta — the log line and the cost block the client saw
+// must agree, so an operator can join them.
+func (s *Service) logSlow(q *query, resp *Response) {
+	c := resp.Meta.Cost
+	s.slowMu.Lock()
+	defer s.slowMu.Unlock()
+	fmt.Fprintf(s.cfg.SlowLog,
+		"service: slow query kind=%s op=%s n=%d deadline=%d cache=%s memo=%t platform=%s solve_ns=%d probes=%d pack_probes=%d rewind_hits=%d constructed=%d phase_ns=%s\n",
+		q.key.kind, q.req.Op, q.req.N, q.req.Deadline, resp.Meta.Cache, resp.Meta.Memo,
+		resp.Meta.PlatformHash, resp.Meta.SolveNs,
+		c.Probes, c.PackProbes, c.RewindHits, c.Constructed, formatPhases(c.PhaseNs))
 }
 
 // construct builds the warmed solver for the query's platform under a
@@ -369,16 +465,20 @@ func (s *Service) construct(q *query) (e *entry, err error) {
 	if err != nil {
 		return nil, err
 	}
-	e = &entry{key: q.key, be: be}
+	e = &entry{key: q.key, be: be, trace: &obs.SolveTrace{}}
+	// Attaching right after construction flushes the build-time set-up
+	// (leg dedup, tree cover) into the trace, so the first solve's cost
+	// block carries the construction it paid for.
+	be.setTrace(e.trace)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.stats.Constructions++
+	s.m.constructions.Inc()
 	s.entries[q.key] = s.lru.PushFront(e)
 	for s.lru.Len() > s.cfg.CacheSize {
 		old := s.lru.Back()
 		s.lru.Remove(old)
 		delete(s.entries, old.Value.(*entry).key)
-		s.stats.Evictions++
+		s.m.evictions.Inc()
 	}
 	return e, nil
 }

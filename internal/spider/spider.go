@@ -48,10 +48,12 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/fork"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sched"
 )
@@ -129,6 +131,21 @@ type Solver struct {
 
 	stats ProbeStats
 
+	// trace, when non-nil, receives per-phase wall times: plan growth
+	// under obs.PhaseConstruct (via the plans' core.Incremental hooks),
+	// plan set-up under obs.PhaseDedup, per-leg fit cuts under
+	// obs.PhaseMerge, the probe body under obs.PhasePack and the
+	// Lemma 3 revert under obs.PhaseExtract. Nil (the default) keeps
+	// the hot path at one pointer compare per phase boundary — the
+	// disabled-hooks test asserts the warm probe's allocation count is
+	// unchanged.
+	trace *obs.SolveTrace
+	// buildNs is buildPlans' wall time (leg-key dedup + plan set-up),
+	// measured unconditionally because it happens before a trace can be
+	// attached; SetTrace flushes it once per build.
+	buildNs      time.Duration
+	buildFlushed bool
+
 	// prepared high-water marks: fit(n, deadline) needs no growth when
 	// both are dominated, so warm probes skip the worker pool entirely.
 	prepN        int
@@ -156,10 +173,38 @@ type ProbeStats struct {
 	// after a rewind (the from-scratch paths re-offer every candidate,
 	// every probe; this is the persistent loop's total).
 	Reoffered int64
+	// Constructed counts the backward placements built across the
+	// solver's distinct leg plans — the paid construction work, read at
+	// snapshot time. Chain solvers report their single plan's length
+	// here, so admission control can predict solve cost uniformly.
+	Constructed int64
 }
 
 // Stats returns the cumulative probe telemetry.
-func (s *Solver) Stats() ProbeStats { return s.stats }
+func (s *Solver) Stats() ProbeStats {
+	st := s.stats
+	for _, lp := range s.plans {
+		st.Constructed += int64(lp.inc.Len())
+	}
+	return st
+}
+
+// SetTrace attaches (or, with nil, detaches) the phase trace the
+// solver's hooks report into, propagating it to every distinct leg
+// plan; the set-up cost already paid by buildPlans flushes into the
+// trace once. Attach between queries only — the trace itself is safe
+// for the solver's parallel growth workers, swapping it mid-solve is
+// not.
+func (s *Solver) SetTrace(t *obs.SolveTrace) {
+	s.trace = t
+	for _, lp := range s.plans {
+		lp.inc.SetTrace(t)
+	}
+	if t != nil && !s.buildFlushed {
+		s.buildFlushed = true
+		t.Observe(obs.PhaseDedup, s.buildNs)
+	}
+}
 
 // NewSolver validates the spider and prepares empty per-leg plans,
 // deduplicating isomorphic legs (see Solver.legs).
@@ -177,6 +222,7 @@ func NewSolver(sp platform.Spider) (*Solver, error) {
 // buildPlans (re)builds the per-leg plan views and the distinct-plan
 // set according to the current dedup setting.
 func (s *Solver) buildPlans() error {
+	t0 := time.Now()
 	s.legs = make([]*legPlan, s.sp.NumLegs())
 	s.plans = s.plans[:0]
 	var shared map[string]*legPlan
@@ -203,6 +249,11 @@ func (s *Solver) buildPlans() error {
 			shared[key] = lp
 		}
 	}
+	// Timed unconditionally (two clock reads on a cold path): a trace
+	// attached after construction still gets the set-up cost, flushed by
+	// SetTrace exactly once per build.
+	s.buildNs = time.Since(t0)
+	s.buildFlushed = false
 	return nil
 }
 
@@ -224,10 +275,12 @@ func (s *Solver) SetLegDedup(on bool) {
 	}
 	// The old plans — and every probe structure holding pointers into
 	// them — are gone; drop the memo marks and persistent probe state so
-	// the next probe rebuilds from the fresh plans.
+	// the next probe rebuilds from the fresh plans, and re-attach the
+	// trace to them (flushing the rebuild's set-up cost).
 	s.prepN, s.prepDeadline = 0, 0
 	s.pp, s.lt = nil, nil
 	s.scratch = nil
+	s.SetTrace(s.trace)
 }
 
 // DistinctLegPlans returns how many backward constructions the solver
@@ -335,6 +388,10 @@ func (s *Solver) SetTwoSidedSeeding(on bool) { s.seed2off = !on }
 // them along with their sum (the merged candidate total). The returned
 // slice is the solver's scratch buffer, valid until the next probe.
 func (s *Solver) legCounts(n int, deadline platform.Time) ([]int, int) {
+	var t0 time.Time
+	if s.trace != nil {
+		t0 = time.Now()
+	}
 	if s.kbuf == nil {
 		s.kbuf = make([]int, len(s.legs))
 	}
@@ -343,6 +400,7 @@ func (s *Solver) legCounts(n int, deadline platform.Time) ([]int, int) {
 		ks[b] = lp.fit(n, deadline)
 		total += ks[b]
 	}
+	s.trace.ObserveSince(obs.PhaseMerge, t0)
 	return ks, total
 }
 
@@ -579,6 +637,11 @@ func (c legCursor) candidate() platform.VirtualSlave { return c.cur }
 // probeCount runs one deadline probe and returns the number of admitted
 // tasks, skipping allocation materialisation on the streaming paths.
 func (s *Solver) probeCount(n int, deadline platform.Time, ks []int) (int, error) {
+	var t0 time.Time
+	if s.trace != nil {
+		t0 = time.Now()
+		defer s.trace.ObserveSince(obs.PhasePack, t0)
+	}
 	if s.slicePack {
 		alloc, err := s.slicePackProbe(n, deadline, ks)
 		if err != nil {
@@ -606,6 +669,11 @@ func (s *Solver) probeCount(n int, deadline platform.Time, ks []int) (int, error
 // the emission rank k−1−j every other path uses, so the allocation —
 // and hence the reverted schedule — is identical across all paths.
 func (s *Solver) probeAlloc(n int, deadline platform.Time, ks []int) (*fork.Allocation, error) {
+	var t0 time.Time
+	if s.trace != nil {
+		t0 = time.Now()
+		defer s.trace.ObserveSince(obs.PhasePack, t0)
+	}
 	if s.slicePack {
 		return s.slicePackProbe(n, deadline, ks)
 	}
@@ -677,6 +745,11 @@ func (s *Solver) ScheduleWithin(n int, deadline platform.Time) (*sched.SpiderSch
 	// slot. The packing guarantees EmitStart ≤ the original C_1^i, so
 	// moving the send earlier keeps condition (1); port slots are
 	// pairwise disjoint by construction.
+	var t0 time.Time
+	if s.trace != nil {
+		t0 = time.Now()
+		defer s.trace.ObserveSince(obs.PhaseExtract, t0)
+	}
 	out := &sched.SpiderSchedule{Spider: s.sp}
 	for _, c := range alloc.Slaves {
 		t := s.legs[c.Leg].task(ks[c.Leg], c.Rank, deadline)

@@ -2,7 +2,9 @@ package tree
 
 import (
 	"fmt"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/spider"
@@ -28,20 +30,41 @@ type Solver struct {
 	t     platform.Tree
 	cov   *Cover
 	inner *spider.Solver
+
+	// coverNs is the wall time of the cover extraction, paid before any
+	// trace can be attached; coverFlushed records whether it has been
+	// reported into the current trace (see SetTrace).
+	coverNs      time.Duration
+	coverFlushed bool
 }
 
 // NewSolver validates the tree, extracts its spider cover and prepares
 // the warmed inner solver.
 func NewSolver(t platform.Tree) (*Solver, error) {
+	t0 := time.Now()
 	cov, err := SpiderCover(t)
 	if err != nil {
 		return nil, err
 	}
+	coverNs := time.Since(t0)
 	inner, err := spider.NewSolver(cov.Spider)
 	if err != nil {
 		return nil, fmt.Errorf("tree: cover solver: %w", err)
 	}
-	return &Solver{t: t, cov: cov, inner: inner}, nil
+	return &Solver{t: t, cov: cov, inner: inner, coverNs: coverNs}, nil
+}
+
+// SetTrace attaches (or, with nil, detaches) the phase trace the solve
+// path reports into, propagating to the inner spider solver. The cover
+// extraction ran before any trace could exist; its wall time is flushed
+// under obs.PhaseConstruct into the first trace attached. Safe to call
+// between queries only.
+func (s *Solver) SetTrace(t *obs.SolveTrace) {
+	s.inner.SetTrace(t)
+	if t != nil && !s.coverFlushed {
+		s.coverFlushed = true
+		t.Observe(obs.PhaseConstruct, s.coverNs)
+	}
 }
 
 // Tree returns the platform the solver schedules on.

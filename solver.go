@@ -47,7 +47,22 @@ func (s *chainSolver) ScheduleWithin(n int, deadline Time) (Schedule, error) {
 	return sch, nil
 }
 
-func (s *chainSolver) Stats() SolverStats { return SolverStats{} }
+func (s *chainSolver) Stats() SolverStats {
+	st := s.inc.Stats()
+	// The chain algorithm has no deadline search, but the incremental
+	// plan's counters map onto the shared shape: every FitWithin
+	// evaluation is the chain analogue of a probe (one binary search over
+	// the cached emissions), every materialisation a solve, and the
+	// cached backward placements the paid construction work.
+	return SolverStats{
+		Solves:      int(st.Solves),
+		Probes:      int(st.Fits),
+		CountChecks: int(st.Fits),
+		Constructed: st.Placed,
+	}
+}
+
+func (s *chainSolver) SetTrace(t *SolveTrace) { s.inc.SetTrace(t) }
 
 // spiderSolver answers spider and fork queries from one warmed
 // spider.Solver; forks solve as their spider form, so the returned
@@ -86,6 +101,8 @@ func (s *spiderSolver) ScheduleWithin(n int, deadline Time) (Schedule, error) {
 
 func (s *spiderSolver) Stats() SolverStats { return s.s.Stats() }
 
+func (s *spiderSolver) SetTrace(t *SolveTrace) { s.s.SetTrace(t) }
+
 // treeSolver answers tree queries from one warmed tree.Solver (the
 // cached §8 cover plus its inner spider solver).
 type treeSolver struct {
@@ -119,3 +136,5 @@ func (s *treeSolver) ScheduleWithin(n int, deadline Time) (Schedule, error) {
 }
 
 func (s *treeSolver) Stats() SolverStats { return s.s.Stats() }
+
+func (s *treeSolver) SetTrace(t *SolveTrace) { s.s.SetTrace(t) }
