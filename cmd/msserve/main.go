@@ -7,7 +7,9 @@
 // Usage:
 //
 //	msserve [-addr :8080] [-cache 64] [-workers 0] [-max-n 1048576]
-//	        [-slow-query 0] [-pprof]
+//	        [-solve-timeout 0] [-queue 0] [-shed-budget 0]
+//	        [-max-body 16777216] [-drain-timeout 5s] [-lame-duck 0]
+//	        [-faults FILE] [-slow-query 0] [-pprof]
 //
 // Endpoints:
 //
@@ -16,12 +18,32 @@
 //	                metadata and a per-solve cost block (probe counts,
 //	                phase-by-phase wall time)
 //	GET  /stats   — hits, misses, coalesced, memo hits, constructions,
-//	                evictions, uptime
+//	                evictions, sheds, timeouts, quarantines, uptime
 //	GET  /metrics — Prometheus text exposition: per-(kind, op) solve
 //	                latency histograms split warm/cold, cache counters,
-//	                per-phase solve time, in-flight gauge
-//	GET  /healthz — liveness: build info and uptime (JSON)
+//	                per-phase solve time, in-flight and queue-depth
+//	                gauges, shed/timeout/quarantine counters
+//	GET  /healthz — readiness: 200 while accepting traffic, 503 once
+//	                draining or the admission queue is saturated
+//	GET  /livez   — liveness: 200 until the process exits
 //	GET  /debug/pprof/* — the standard profiler, only with -pprof
+//
+// Resilience knobs:
+//
+//   - -solve-timeout bounds each solve's wall time server-side; the
+//     solver's cancellation checkpoints stop the work when it passes
+//     (a request's own timeout_ms can only tighten it).
+//   - -queue bounds the admission wait queue (default 16×workers);
+//     -shed-budget additionally sheds once the predicted backlog
+//     exceeds it. Shed requests get 429 with Retry-After.
+//   - -max-body rejects oversized /solve bodies with 413.
+//   - -drain-timeout is the graceful-shutdown window: at the deadline
+//     still-in-flight solve contexts are cancelled so a stuck solve
+//     cannot hold the process hostage. -lame-duck keeps serving (with
+//     /healthz already 503) for that long before draining starts, so
+//     load balancers can stop routing first.
+//   - -faults FILE arms the deterministic fault-injection harness from
+//     a JSON rule list (see internal/faultinject) — chaos drills only.
 //
 // -slow-query DURATION logs every solve at or above the threshold to
 // stderr, one line mirroring the response's cost block.
@@ -29,7 +51,7 @@
 // The server drains gracefully on SIGINT/SIGTERM. Example session:
 //
 //	msgen -kind spider -legs 4 -depth 3 > sp.json
-//	msserve -addr :8080 -slow-query 10ms &
+//	msserve -addr :8080 -solve-timeout 2s -slow-query 10ms &
 //	curl -s localhost:8080/solve -d '{"platform":'"$(cat sp.json)"',"op":"min_makespan","n":64}'
 //	curl -s localhost:8080/metrics
 package main
@@ -48,6 +70,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/service"
 )
 
@@ -66,13 +89,19 @@ func main() {
 func run(ctx context.Context, args []string, out io.Writer, ready chan<- string) error {
 	fs := flag.NewFlagSet("msserve", flag.ContinueOnError)
 	var (
-		addr      = fs.String("addr", ":8080", "listen address")
-		cache     = fs.Int("cache", 64, "warmed solvers kept (LRU beyond this)")
-		workers   = fs.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
-		maxN      = fs.Int("max-n", 1<<20, "per-query task count limit")
-		drain     = fs.Duration("drain", 5*time.Second, "graceful shutdown timeout")
-		slowQuery = fs.Duration("slow-query", 0, "log solves at or above this wall time (0 = off)")
-		pprofOn   = fs.Bool("pprof", false, "mount the profiler under /debug/pprof/")
+		addr         = fs.String("addr", ":8080", "listen address")
+		cache        = fs.Int("cache", 64, "warmed solvers kept (LRU beyond this)")
+		workers      = fs.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
+		maxN         = fs.Int("max-n", 1<<20, "per-query task count limit")
+		solveTimeout = fs.Duration("solve-timeout", 0, "per-solve wall-time bound (0 = none)")
+		queueMax     = fs.Int("queue", 0, "admission wait-queue bound (0 = 16×workers)")
+		shedBudget   = fs.Duration("shed-budget", 0, "shed once predicted backlog exceeds this (0 = queue bound only)")
+		maxBody      = fs.Int64("max-body", 16<<20, "max /solve request body bytes (413 beyond)")
+		drainTimeout = fs.Duration("drain-timeout", 5*time.Second, "graceful shutdown window; in-flight solves are cancelled at the deadline")
+		lameDuck     = fs.Duration("lame-duck", 0, "keep serving this long after SIGTERM (readiness already 503) before draining")
+		faultsFile   = fs.String("faults", "", "JSON fault-injection rules file (chaos drills)")
+		slowQuery    = fs.Duration("slow-query", 0, "log solves at or above this wall time (0 = off)")
+		pprofOn      = fs.Bool("pprof", false, "mount the profiler under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,16 +110,33 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		return fmt.Errorf("unexpected arguments %v", fs.Args())
 	}
 
+	var faults *faultinject.Injector
+	if *faultsFile != "" {
+		data, err := os.ReadFile(*faultsFile)
+		if err != nil {
+			return fmt.Errorf("loading fault rules: %w", err)
+		}
+		if faults, err = faultinject.Parse(data); err != nil {
+			return fmt.Errorf("parsing fault rules: %w", err)
+		}
+		fmt.Fprintf(out, "msserve: FAULT INJECTION ARMED from %s\n", *faultsFile)
+	}
+
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
 	svc := service.New(service.Config{
-		CacheSize: *cache,
-		Workers:   *workers,
-		MaxN:      *maxN,
-		SlowQuery: *slowQuery,
-		SlowLog:   os.Stderr,
-		Pprof:     *pprofOn,
+		CacheSize:    *cache,
+		Workers:      *workers,
+		MaxN:         *maxN,
+		SlowQuery:    *slowQuery,
+		SlowLog:      os.Stderr,
+		Pprof:        *pprofOn,
+		SolveTimeout: *solveTimeout,
+		QueueMax:     *queueMax,
+		ShedBudget:   *shedBudget,
+		MaxBody:      *maxBody,
+		Faults:       faults,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -101,7 +147,15 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		ready <- ln.Addr().String()
 	}
 
-	srv := &http.Server{Handler: svc.Handler()}
+	// Every request context descends from solveCtx; cancelling it at
+	// the drain deadline stops still-running solves at their next
+	// cancellation checkpoint, so a stuck solve cannot block shutdown.
+	solveCtx, stopSolves := context.WithCancel(context.Background())
+	defer stopSolves()
+	srv := &http.Server{
+		Handler:     svc.Handler(),
+		BaseContext: func(net.Listener) context.Context { return solveCtx },
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
@@ -110,8 +164,19 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		return err
 	case <-ctx.Done():
 	}
+	// Flip readiness first so load balancers stop routing, then give
+	// them the lame-duck window to notice before refusing connections.
+	svc.SetDraining(true)
+	if *lameDuck > 0 {
+		time.Sleep(*lameDuck)
+	}
 	fmt.Fprintln(out, "msserve: draining")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	deadline := time.AfterFunc(*drainTimeout, stopSolves)
+	defer deadline.Stop()
+	// Shutdown gets a grace beyond the drain deadline: once stopSolves
+	// fires, cancelled handlers unwind in microseconds, so the extra
+	// window only matters if something ignores cancellation outright.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout+5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("draining: %w", err)

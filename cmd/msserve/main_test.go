@@ -3,6 +3,10 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -263,4 +267,128 @@ func TestServeUsesServiceDefaults(t *testing.T) {
 	}
 	cancel()
 	<-done
+}
+
+// TestServeDrainTimeoutCancelsStuckSolve is the drain-hardening
+// acceptance test: a fault-injected construction sleeps for a minute,
+// yet shutdown with -drain-timeout 200ms completes in well under the
+// old wait-forever behaviour because the drain deadline cancels the
+// in-flight solve context and the checkpointed construction unwinds.
+func TestServeDrainTimeoutCancelsStuckSolve(t *testing.T) {
+	rules := filepath.Join(t.TempDir(), "faults.json")
+	if err := os.WriteFile(rules, []byte(`[{"site":"construct","delay_ms":60000}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cl, cancel, out, done := startServer(t, []string{"-drain-timeout", "200ms", "-faults", rules})
+	defer cancel()
+
+	solveErr := make(chan error, 1)
+	go func() {
+		_, err := cl.MinMakespanSpider(context.Background(), platform.NewSpider(platform.NewChain(2, 5)), 8, false)
+		solveErr <- err
+	}()
+	// Wait until the solve is provably in flight (stuck in the
+	// injected construction delay) before pulling the plug.
+	waitForMisses(t, cl, 1)
+
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown with a stuck solve: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("drain deadline did not unstick the solve")
+	}
+	if took := time.Since(start); took > 10*time.Second {
+		t.Errorf("drain took %s; the 200ms deadline should have cancelled the solve", took)
+	}
+	if err := <-solveErr; err == nil {
+		t.Error("the stuck solve reported success")
+	}
+	if !strings.Contains(out.String(), "FAULT INJECTION ARMED") {
+		t.Errorf("armed-faults banner missing:\n%s", out.String())
+	}
+}
+
+// TestServeLameDuckReadiness: during the -lame-duck window after
+// SIGTERM the server still answers, but /healthz is 503 with
+// draining=true while /livez stays 200 — the satellite's readiness
+// contract, exercised through the real daemon.
+func TestServeLameDuckReadiness(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-lame-duck", "2s"}, &out, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	}
+	base := "http://" + addr
+
+	probe := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var h service.Health
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatalf("decoding %s: %v", path, err)
+		}
+		return resp.StatusCode, h.Status
+	}
+
+	if code, status := probe("/healthz"); code != http.StatusOK || status != "ok" {
+		t.Errorf("healthz before drain = %d %q, want 200 ok", code, status)
+	}
+	cancel() // SIGTERM equivalent: the lame-duck window begins
+	// Readiness must flip quickly even though the server keeps serving.
+	deadline := time.Now().Add(time.Second)
+	for {
+		code, status := probe("/healthz")
+		if code == http.StatusServiceUnavailable && status == "draining" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz during lame duck = %d %q, want 503 draining", code, status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if code, _ := probe("/livez"); code != http.StatusOK {
+		t.Errorf("livez during lame duck = %d, want 200", code)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not finish draining after the lame-duck window")
+	}
+}
+
+// waitForMisses polls /stats until the miss counter reaches want —
+// the sign a cold request has entered construction.
+func waitForMisses(t *testing.T, cl *client.Client, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := cl.Stats(context.Background())
+		if err == nil && st.Misses >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("misses never reached %d (stats err %v)", want, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 }

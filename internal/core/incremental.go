@@ -82,7 +82,12 @@ type Incremental struct {
 	// under obs.PhaseConstruct, materialisation under obs.PhaseExtract.
 	// Nil (the default) costs one pointer compare per growth call.
 	trace *obs.SolveTrace
-	stats IncrementalStats
+	// cancel, when non-nil, is checked once per backward placement in
+	// Grow — the construction loop that dominates cold solves — so a
+	// dead request context stops the growth instead of paying for the
+	// whole plan. Nil (the default) costs one pointer compare.
+	cancel *obs.CancelCheck
+	stats  IncrementalStats
 }
 
 // IncrementalStats is the plan's cumulative query telemetry. Placed is
@@ -103,6 +108,17 @@ type IncrementalStats struct {
 // SetTrace attaches (or, with nil, detaches) the phase trace growth and
 // materialisation report into. Safe to call between queries only.
 func (inc *Incremental) SetTrace(t *obs.SolveTrace) { inc.trace = t }
+
+// SetCancel attaches (or, with nil, detaches) the cancellation
+// checkpoint the growth loop polls. Safe to call between queries only.
+// With a checkpoint attached, FitWithin and the accessors that grow the
+// cache (Emission, Backward, Grow) unwind a dead context by panicking
+// with the obs cancellation sentinel; Schedule and ScheduleWithin
+// recover it into an ordinary error, and callers reaching the growing
+// paths directly must recover it themselves (spider.Solver does). A
+// cancelled growth leaves the cache a valid shorter prefix — the plan
+// stays usable.
+func (inc *Incremental) SetCancel(c *obs.CancelCheck) { inc.cancel = c }
 
 // Stats snapshots the plan's cumulative query telemetry.
 func (inc *Incremental) Stats() IncrementalStats {
@@ -136,6 +152,7 @@ func (inc *Incremental) Grow(k int) {
 		t0 = time.Now()
 	}
 	for len(inc.backward) < k {
+		inc.cancel.Checkpoint()
 		inc.backward = append(inc.backward, inc.eng.Extend())
 	}
 	inc.trace.ObserveSince(obs.PhaseConstruct, t0)
@@ -179,7 +196,8 @@ func (inc *Incremental) FitWithin(n int, deadline platform.Time) int {
 // ScheduleWithin materialises the schedule behind FitWithin(n, deadline):
 // the fitting backward prefix reversed into emission order and shifted
 // by the deadline into absolute times. It matches core.ScheduleWithin.
-func (inc *Incremental) ScheduleWithin(n int, deadline platform.Time) (*sched.ChainSchedule, error) {
+func (inc *Incremental) ScheduleWithin(n int, deadline platform.Time) (s *sched.ChainSchedule, err error) {
+	defer recoverCancel(&err)
 	if n < 0 {
 		return nil, fmt.Errorf("core: negative task count %d", n)
 	}
@@ -190,9 +208,22 @@ func (inc *Incremental) ScheduleWithin(n int, deadline platform.Time) (*sched.Ch
 	return inc.materialise(k, deadline), nil
 }
 
+// recoverCancel converts a cancellation checkpoint unwind into the
+// context error it carries; any other panic continues up.
+func recoverCancel(err *error) {
+	if r := recover(); r != nil {
+		ce, ok := obs.Canceled(r)
+		if !ok {
+			panic(r)
+		}
+		*err = ce
+	}
+}
+
 // Schedule materialises the makespan-optimal schedule of exactly n
 // tasks, shifted to start at time 0. It matches core.Schedule.
-func (inc *Incremental) Schedule(n int) (*sched.ChainSchedule, error) {
+func (inc *Incremental) Schedule(n int) (s *sched.ChainSchedule, err error) {
+	defer recoverCancel(&err)
 	if n < 0 {
 		return nil, fmt.Errorf("core: negative task count %d", n)
 	}

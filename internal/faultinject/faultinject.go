@@ -1,0 +1,160 @@
+// Package faultinject is a deterministic fault-injection harness for
+// the service's chaos tests: named hook points (sites) fire configured
+// rules — delays, errors, panics, forced HTTP statuses — in a
+// repeatable order, so a test can stage "the third construction hangs
+// for five seconds" or "every handler call answers 503 twice" without
+// touching production code paths.
+//
+// Production pays nothing: a nil *Injector no-ops every call (one
+// pointer compare), and nothing in this package runs unless an
+// injector is explicitly wired into the service configuration — there
+// are no globals, no init hooks and no build tags.
+package faultinject
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Site names one hook point.
+type Site string
+
+const (
+	// SiteConstruct fires at the start of every solver construction.
+	SiteConstruct Site = "construct"
+	// SiteSolve fires before every solver answer (post-memo, under the
+	// entry lock).
+	SiteSolve Site = "solve"
+	// SiteHandler fires at the top of the /solve HTTP handler.
+	SiteHandler Site = "handler"
+)
+
+// Rule is one staged fault. Zero-valued fields are inert; the
+// non-zero ones all apply on a firing hit, in order: delay first, then
+// panic, then error/status.
+type Rule struct {
+	// Site is the hook point the rule arms.
+	Site Site `json:"site"`
+	// DelayMs stalls the hit. The sleep observes the caller's context:
+	// a cancelled request stops waiting and surfaces the context error,
+	// which is exactly how the timeout chaos tests simulate a slow
+	// construction without a real five-second build.
+	DelayMs int64 `json:"delay_ms,omitempty"`
+	// Panic, when non-empty, panics with this message after the delay —
+	// the poisoned-entry scenario.
+	Panic string `json:"panic,omitempty"`
+	// Err, when non-empty, returns this message as an error.
+	Err string `json:"err,omitempty"`
+	// Status, when non-zero, returns a StatusError carrying it; the
+	// HTTP handler site writes it as the response status (5xx
+	// injection).
+	Status int `json:"status,omitempty"`
+	// Skip lets the first Skip hits of the site pass before the rule
+	// starts firing.
+	Skip int `json:"skip,omitempty"`
+	// Times bounds how many hits fire the rule; 0 means every hit from
+	// Skip on.
+	Times int `json:"times,omitempty"`
+}
+
+// StatusError is the error a Status rule injects; the service's HTTP
+// layer recognises it and writes Code as the response status.
+type StatusError struct {
+	Code int
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("faultinject: forced status %d", e.Code)
+}
+
+// Injector holds the staged rules. The zero of *Injector (nil) is the
+// production value: every method no-ops. An Injector is safe for
+// concurrent use.
+type Injector struct {
+	mu    sync.Mutex
+	rules []Rule
+	seen  map[Site]int // hits observed per site (fired or not)
+}
+
+// New returns an injector armed with the given rules.
+func New(rules ...Rule) *Injector {
+	return &Injector{rules: rules, seen: make(map[Site]int)}
+}
+
+// Parse decodes a JSON rule list (the msserve -faults file format):
+//
+//	[{"site":"construct","delay_ms":5000,"times":1}, ...]
+func Parse(data []byte) (*Injector, error) {
+	var rules []Rule
+	if err := json.Unmarshal(data, &rules); err != nil {
+		return nil, fmt.Errorf("faultinject: parsing rules: %w", err)
+	}
+	for i, r := range rules {
+		switch r.Site {
+		case SiteConstruct, SiteSolve, SiteHandler:
+		default:
+			return nil, fmt.Errorf("faultinject: rule %d: unknown site %q", i, r.Site)
+		}
+	}
+	return New(rules...), nil
+}
+
+// Hits returns how many times the site has been hit (whether or not a
+// rule fired) — the chaos tests' ordering probe.
+func (in *Injector) Hits(site Site) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.seen[site]
+}
+
+// Fire runs the site's hook: it records the hit, applies every armed
+// rule in staging order, and returns the first injected error (the
+// context's own error when a delay is cut short). Panic rules do not
+// return. A nil receiver returns nil immediately.
+func (in *Injector) Fire(ctx context.Context, site Site) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	hit := in.seen[site]
+	in.seen[site] = hit + 1
+	var armed []Rule
+	for _, r := range in.rules {
+		if r.Site != site || hit < r.Skip {
+			continue
+		}
+		if r.Times > 0 && hit >= r.Skip+r.Times {
+			continue
+		}
+		armed = append(armed, r)
+	}
+	in.mu.Unlock()
+
+	for _, r := range armed {
+		if r.DelayMs > 0 {
+			t := time.NewTimer(time.Duration(r.DelayMs) * time.Millisecond)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			}
+		}
+		if r.Panic != "" {
+			panic(fmt.Sprintf("faultinject: %s", r.Panic))
+		}
+		if r.Status != 0 {
+			return &StatusError{Code: r.Status}
+		}
+		if r.Err != "" {
+			return fmt.Errorf("faultinject: %s", r.Err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorNoOps(t *testing.T) {
+	var in *Injector
+	if err := in.Fire(context.Background(), SiteConstruct); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	if got := in.Hits(SiteSolve); got != 0 {
+		t.Fatalf("nil injector counted %d hits", got)
+	}
+}
+
+func TestSkipAndTimes(t *testing.T) {
+	in := New(Rule{Site: SiteSolve, Err: "boom", Skip: 1, Times: 2})
+	ctx := context.Background()
+	want := []bool{false, true, true, false, false}
+	for i, wantErr := range want {
+		err := in.Fire(ctx, SiteSolve)
+		if (err != nil) != wantErr {
+			t.Fatalf("hit %d: err=%v, want firing=%t", i, err, wantErr)
+		}
+		if err != nil && !strings.Contains(err.Error(), "boom") {
+			t.Fatalf("hit %d: unexpected message %q", i, err)
+		}
+	}
+	if got := in.Hits(SiteSolve); got != len(want) {
+		t.Fatalf("Hits = %d, want %d", got, len(want))
+	}
+}
+
+func TestDelayObservesContext(t *testing.T) {
+	in := New(Rule{Site: SiteConstruct, DelayMs: 5000})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := in.Fire(ctx, SiteConstruct)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Fire = %v, want deadline exceeded", err)
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("delay ignored the context: took %s", took)
+	}
+}
+
+func TestPanicRule(t *testing.T) {
+	in := New(Rule{Site: SiteConstruct, Panic: "poisoned"})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic rule did not panic")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "poisoned") {
+			t.Fatalf("unexpected panic value %v", r)
+		}
+	}()
+	_ = in.Fire(context.Background(), SiteConstruct)
+}
+
+func TestStatusRule(t *testing.T) {
+	in := New(Rule{Site: SiteHandler, Status: 503})
+	err := in.Fire(context.Background(), SiteHandler)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != 503 {
+		t.Fatalf("Fire = %v, want StatusError{503}", err)
+	}
+}
+
+func TestParse(t *testing.T) {
+	in, err := Parse([]byte(`[{"site":"construct","delay_ms":10,"times":1},{"site":"handler","status":502}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Fire(context.Background(), SiteSolve); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+	if _, err := Parse([]byte(`[{"site":"nope"}]`)); err == nil {
+		t.Fatal("unknown site parsed")
+	}
+	if _, err := Parse([]byte(`{`)); err == nil {
+		t.Fatal("malformed JSON parsed")
+	}
+}

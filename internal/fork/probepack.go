@@ -63,6 +63,12 @@ type ProbePacker struct {
 	// spider.Solver leaves it nil — the solver times the whole probe body
 	// itself — so this hook serves direct packer users.
 	trace *obs.SolveTrace
+
+	// cancel, when non-nil, is polled at stride inside Rewind's
+	// decision-log scan — the loop that can walk a million recorded
+	// entries on big-budget probes — so a dead request context stops
+	// the rewind. Nil (the default) costs one pointer compare.
+	cancel *obs.CancelCheck
 }
 
 // probeEntry is one recorded admission decision: the candidate and the
@@ -96,6 +102,14 @@ func (pp *ProbePacker) Recorded() (n int, ok bool) { return pp.pk.n, pp.valid }
 // SetTrace attaches (or, with nil, detaches) a phase trace Rewind
 // reports into. Safe to call between probes only.
 func (pp *ProbePacker) SetTrace(t *obs.SolveTrace) { pp.trace = t }
+
+// SetCancel attaches (or, with nil, detaches) the cancellation
+// checkpoint Rewind's scan polls. With a checkpoint attached, Rewind
+// may unwind a dead context by panicking with the obs cancellation
+// sentinel — attach only under a boundary that recovers it
+// (spider.Solver does), and treat the packer's probe state as
+// abandoned after a cancelled probe. Safe to call between probes only.
+func (pp *ProbePacker) SetCancel(c *obs.CancelCheck) { pp.cancel = c }
 
 // Rewind prepares the packer for a probe with task budget n at the
 // given deadline. change is the earliest candidate, in admission order,
@@ -153,6 +167,7 @@ func (pp *ProbePacker) Rewind(n int, deadline platform.Time, change *platform.Vi
 	oldD := pp.logD
 	div, adm := len(pp.log), 0
 	for i := range pp.log {
+		pp.cancel.Checkpoint()
 		if adm == n {
 			div = i
 			break

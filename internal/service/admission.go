@@ -1,0 +1,184 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrOverload marks queries the admission controller refused: the
+// bounded queue was full or the predicted backlog exceeded budget. The
+// HTTP layer maps it to 429 with a Retry-After header.
+var ErrOverload = errors.New("service: overloaded")
+
+// OverloadError carries the shed decision's backoff hint. It wraps
+// ErrOverload, so errors.Is(err, ErrOverload) classifies and
+// errors.As(&OverloadError{}) recovers the hint.
+type OverloadError struct {
+	// RetryAfter is how long the predicted backlog needs to drain —
+	// the 429's Retry-After value.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("service: overloaded, retry in %s", e.RetryAfter.Round(time.Second))
+}
+
+func (e *OverloadError) Unwrap() error { return ErrOverload }
+
+// admission is the service's cost-aware admission controller: a fixed
+// pool of worker slots (the old semaphore) fronted by a bounded wait
+// queue and a load shedder. A request that finds a free slot is
+// admitted immediately; otherwise it queues unless the queue is full
+// or the predicted backlog — the summed cost predictions of everything
+// already admitted or queued — exceeds the configured budget, in which
+// case it is shed with a Retry-After computed from that same backlog.
+//
+// Cost predictions come from the cost model below: cold requests (no
+// warmed solver for the hash) are the expensive class, priced at the
+// kind's construction EWMA plus a warm solve; warm requests at the
+// kind's solve EWMA. Shedding therefore starts with the traffic that
+// would hold a slot longest, which is exactly the cold-construction
+// storms the ISSUE's overload scenario describes.
+type admission struct {
+	slots     chan struct{}
+	workers   int
+	queueMax  int
+	budgetNs  int64 // 0 = queue-bound shedding only
+	queued    atomic.Int64
+	backlogNs atomic.Int64
+
+	sheds obsCounter
+}
+
+// obsCounter is the minimal counter surface admission needs; it keeps
+// this file free of a direct obs dependency so the wiring stays in
+// metrics.go.
+type obsCounter interface{ Inc() }
+
+func newAdmission(workers, queueMax int, budget time.Duration, sheds obsCounter) *admission {
+	return &admission{
+		slots:    make(chan struct{}, workers),
+		workers:  workers,
+		queueMax: queueMax,
+		budgetNs: budget.Nanoseconds(),
+		sheds:    sheds,
+	}
+}
+
+// depth returns the current wait-queue depth (the queue_depth gauge).
+func (a *admission) depth() int64 { return a.queued.Load() }
+
+// saturated reports whether the wait queue is at capacity — the
+// readiness probe's "stop routing here" signal.
+func (a *admission) saturated() bool { return a.queued.Load() >= int64(a.queueMax) }
+
+// retryAfter converts the current predicted backlog into a client
+// backoff hint: the time the slot pool needs to drain it, clamped to
+// [1s, 60s] so a mispredicting model still gives sane guidance.
+func (a *admission) retryAfter() time.Duration {
+	d := time.Duration(a.backlogNs.Load() / int64(a.workers))
+	return min(max(d, time.Second), time.Minute)
+}
+
+// admit acquires a worker slot for work predicted to cost predNs,
+// waiting in the bounded queue when the pool is busy. It returns a
+// release closure that MUST be called when the work finishes. Shed
+// requests (queue full, or predicted backlog over budget while the
+// pool is busy) return an *OverloadError; a context cancelled while
+// queued returns its error. waived skips the shed decision — used by
+// the solve that immediately follows this same request's admitted
+// construction, which already paid admission as the cold class.
+func (a *admission) admit(ctx context.Context, predNs int64, waived bool) (release func(), err error) {
+	a.backlogNs.Add(predNs)
+	release = func() { a.backlogNs.Add(-predNs); <-a.slots }
+	// Fast path: a free slot admits regardless of backlog prediction —
+	// shedding work an idle worker could absorb helps nobody.
+	select {
+	case a.slots <- struct{}{}:
+		return release, nil
+	default:
+	}
+	if !waived {
+		if q := a.queued.Load(); q >= int64(a.queueMax) ||
+			(a.budgetNs > 0 && a.backlogNs.Load() > a.budgetNs) {
+			a.backlogNs.Add(-predNs)
+			if a.sheds != nil {
+				a.sheds.Inc()
+			}
+			return nil, &OverloadError{RetryAfter: a.retryAfter()}
+		}
+	}
+	a.queued.Add(1)
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return release, nil
+	case <-ctx.Done():
+		a.backlogNs.Add(-predNs)
+		return nil, ctx.Err()
+	}
+}
+
+// costModel predicts solve cost per (platform kind, temperature) from
+// exponentially weighted moving averages of observed wall times. It
+// exists for the load shedder: predictions only rank and size work,
+// they never gate correctness, so crude-but-stable beats precise.
+type costModel struct {
+	mu   sync.Mutex
+	cold map[string]int64 // kind -> EWMA ns of construction work
+	warm map[string]int64 // kind -> EWMA ns of a warm solve
+}
+
+// Priors until the first observation arrives: cold construction is
+// conservatively expensive (it is the class overload protection
+// exists for), a warm solve conservatively cheap.
+const (
+	coldPriorNs = int64(50 * time.Millisecond)
+	warmPriorNs = int64(time.Millisecond)
+)
+
+func newCostModel() *costModel {
+	return &costModel{cold: make(map[string]int64), warm: make(map[string]int64)}
+}
+
+// predict prices one query: a warm solve, plus the construction EWMA
+// when no warmed solver exists for the hash.
+func (cm *costModel) predict(kind string, cold bool) int64 {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	ns := ewmaOr(cm.warm[kind], warmPriorNs)
+	if cold {
+		ns += ewmaOr(cm.cold[kind], coldPriorNs)
+	}
+	return ns
+}
+
+func ewmaOr(v, prior int64) int64 {
+	if v == 0 {
+		return prior
+	}
+	return v
+}
+
+// observe folds one measured wall time into the kind's EWMA
+// (α = 1/4; first observation seeds the average).
+func (cm *costModel) observe(kind string, cold bool, ns int64) {
+	if ns <= 0 {
+		ns = 1
+	}
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	m := cm.warm
+	if cold {
+		m = cm.cold
+	}
+	if old := m[kind]; old == 0 {
+		m[kind] = ns
+	} else {
+		m[kind] = old + (ns-old)/4
+	}
+}

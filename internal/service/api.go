@@ -64,6 +64,11 @@ type Request struct {
 	// default only makespan/task counts travel, keeping warm-path
 	// responses small.
 	IncludeSchedule bool `json:"include_schedule,omitempty"`
+	// TimeoutMs, when positive, bounds this query's solve wall time in
+	// milliseconds. The server's own solve timeout still applies; the
+	// tighter of the two wins. An exceeded deadline answers HTTP 504
+	// with the solver stopped at a cancellation checkpoint.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
 }
 
 // Meta is the per-response cache/coalesce metadata.
@@ -145,6 +150,19 @@ type Stats struct {
 	Constructions uint64 `json:"constructions"`
 	// Evictions counts warmed solvers dropped by the LRU.
 	Evictions uint64 `json:"evictions"`
+	// Sheds counts queries the admission controller refused (429).
+	Sheds uint64 `json:"sheds"`
+	// Timeouts counts queries that hit their solve deadline.
+	Timeouts uint64 `json:"timeouts"`
+	// Cancellations counts queries whose context was cancelled before
+	// completion (client disconnect, drain deadline).
+	Cancellations uint64 `json:"cancellations"`
+	// Quarantines counts poisoned cache entries evicted after a solver
+	// panic (a panicking construction counts too).
+	Quarantines uint64 `json:"quarantines"`
+	// QueueDepth is the number of requests currently waiting in the
+	// admission queue.
+	QueueDepth int64 `json:"queue_depth"`
 	// Entries is the current number of warmed solvers.
 	Entries int `json:"entries"`
 	// UptimeSeconds is the time since the service started.

@@ -10,23 +10,80 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/platform"
 	"repro/internal/service"
 )
 
+// RetryPolicy configures Do's retry loop for transient failures:
+// transport errors and the retryable statuses (429 shed, 500 panic —
+// the poisoned entry is quarantined, so a fresh attempt reconstructs —
+// 502/503/504). Backoff is exponential with full jitter, floored by
+// the server's Retry-After when one arrives; the context's deadline is
+// always honoured — a sleep never outlives it.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, the first included.
+	// Default 4.
+	MaxAttempts int
+	// BaseBackoff seeds the exponential backoff (attempt k sleeps a
+	// uniform random duration in [0, BaseBackoff·2^k], capped at
+	// MaxBackoff). Default 100ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps one sleep. Default 5s.
+	MaxBackoff time.Duration
+	// Budget, when positive, bounds the total wall time across all
+	// attempts and backoffs: once spent, the last error returns
+	// immediately. The context deadline applies regardless.
+	Budget time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 100 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 5 * time.Second
+	}
+	return p
+}
+
+// RetryStats counts the retry loop's activity, read with
+// Client.RetryStats.
+type RetryStats struct {
+	// Attempts counts every request sent, first tries included.
+	Attempts int64
+	// Retries counts the re-sends: attempts beyond each Do's first.
+	Retries int64
+	// GaveUp counts Do calls that exhausted attempts or budget on a
+	// retryable failure.
+	GaveUp int64
+}
+
 // Client talks to one msserve instance. The zero value is not usable;
 // construct with New.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry *RetryPolicy
+
+	attempts atomic.Int64
+	retries  atomic.Int64
+	gaveUp   atomic.Int64
 }
 
 // New returns a client for the service at base (e.g.
 // "http://127.0.0.1:8080"). httpClient may be nil for
-// http.DefaultClient.
+// http.DefaultClient. The client does not retry; chain WithRetry for
+// the resilient variant.
 func New(base string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
@@ -34,47 +91,145 @@ func New(base string, httpClient *http.Client) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
 }
 
+// WithRetry arms the retry policy (see RetryPolicy) and returns the
+// same client for chaining. Call before sharing the client across
+// goroutines.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	p = p.withDefaults()
+	c.retry = &p
+	return c
+}
+
+// RetryStats snapshots the retry loop's counters.
+func (c *Client) RetryStats() RetryStats {
+	return RetryStats{
+		Attempts: c.attempts.Load(),
+		Retries:  c.retries.Load(),
+		GaveUp:   c.gaveUp.Load(),
+	}
+}
+
+// retryableStatus reports whether the status signals a transient
+// server-side condition worth re-sending the identical request for.
+func retryableStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, // shed: the server told us when to come back
+		http.StatusInternalServerError, // panic: the poisoned entry was quarantined
+		http.StatusBadGateway,
+		http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
 // Do posts one solve request and decodes the response. Non-2xx answers
-// surface as errors carrying the server's message.
+// surface as errors carrying the server's message. With a retry policy
+// armed (WithRetry), transient failures are retried with jittered
+// exponential backoff, honouring the server's Retry-After and the
+// context's deadline.
 func (c *Client) Do(ctx context.Context, req *service.Request) (*service.Response, error) {
 	payload, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: encoding request: %w", err)
 	}
+	if c.retry == nil {
+		c.attempts.Add(1)
+		resp, _, _, err := c.doOnce(ctx, payload)
+		return resp, err
+	}
+	p := *c.retry
+	start := time.Now()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		c.attempts.Add(1)
+		if attempt > 0 {
+			c.retries.Add(1)
+		}
+		resp, status, retryAfter, err := c.doOnce(ctx, payload)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		// Transport errors (status 0) are retryable: the request may
+		// never have arrived. Everything else retries by status only.
+		if status != 0 && !retryableStatus(status) {
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			return nil, lastErr
+		}
+		if attempt+1 >= p.MaxAttempts {
+			break
+		}
+		sleep := backoff(p, attempt, retryAfter)
+		if p.Budget > 0 && time.Since(start)+sleep > p.Budget {
+			break
+		}
+		if dl, ok := ctx.Deadline(); ok && time.Now().Add(sleep).After(dl) {
+			break
+		}
+		t := time.NewTimer(sleep)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, lastErr
+		}
+	}
+	c.gaveUp.Add(1)
+	return nil, fmt.Errorf("client: giving up after retries: %w", lastErr)
+}
+
+// backoff is one attempt's sleep: full-jitter exponential, floored at
+// the server's Retry-After when it is larger.
+func backoff(p RetryPolicy, attempt int, retryAfter time.Duration) time.Duration {
+	ceil := min(p.MaxBackoff, p.BaseBackoff<<uint(min(attempt, 20)))
+	sleep := time.Duration(rand.Int63n(int64(ceil) + 1))
+	return max(sleep, retryAfter)
+}
+
+// doOnce sends one attempt. status is 0 on transport failure;
+// retryAfter is the parsed Retry-After header (0 when absent).
+func (c *Client) doOnce(ctx context.Context, payload []byte) (resp *service.Response, status int, retryAfter time.Duration, err error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/solve", bytes.NewReader(payload))
 	if err != nil {
-		return nil, fmt.Errorf("client: %w", err)
+		return nil, 0, 0, fmt.Errorf("client: %w", err)
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	hresp, err := c.hc.Do(hreq)
 	if err != nil {
-		return nil, fmt.Errorf("client: %w", err)
+		return nil, 0, 0, fmt.Errorf("client: %w", err)
 	}
 	defer hresp.Body.Close()
+	status = hresp.StatusCode
+	if ra, perr := strconv.ParseInt(hresp.Header.Get("Retry-After"), 10, 64); perr == nil && ra > 0 {
+		retryAfter = time.Duration(ra) * time.Second
+	}
 	// Read one byte past the cap so truncation is an explicit error
 	// rather than a baffling JSON decode failure on a cut-off body.
 	const maxResponseBytes = 256 << 20
 	body, err := io.ReadAll(io.LimitReader(hresp.Body, maxResponseBytes+1))
 	if err != nil {
-		return nil, fmt.Errorf("client: reading response: %w", err)
+		return nil, status, retryAfter, fmt.Errorf("client: reading response: %w", err)
 	}
 	if len(body) > maxResponseBytes {
-		return nil, fmt.Errorf("client: response exceeds %d bytes; narrow the query or skip include_schedule", maxResponseBytes)
+		return nil, status, retryAfter, fmt.Errorf("client: response exceeds %d bytes; narrow the query or skip include_schedule", maxResponseBytes)
 	}
-	if hresp.StatusCode != http.StatusOK {
+	if status != http.StatusOK {
 		var eb struct {
 			Error string `json:"error"`
 		}
 		if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
-			return nil, fmt.Errorf("client: server rejected the query: %s", eb.Error)
+			return nil, status, retryAfter, fmt.Errorf("client: server rejected the query: %s", eb.Error)
 		}
-		return nil, fmt.Errorf("client: server answered %s", hresp.Status)
+		return nil, status, retryAfter, fmt.Errorf("client: server answered %s", hresp.Status)
 	}
-	var resp service.Response
-	if err := json.Unmarshal(body, &resp); err != nil {
-		return nil, fmt.Errorf("client: decoding response: %w", err)
+	var out service.Response
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, status, retryAfter, fmt.Errorf("client: decoding response: %w", err)
 	}
-	return &resp, nil
+	return &out, status, retryAfter, nil
 }
 
 // MinMakespanSpider asks for the optimal makespan of n tasks on the

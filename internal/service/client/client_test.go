@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/platform"
 	"repro/internal/service"
 	"repro/internal/spider"
@@ -188,5 +189,69 @@ func waitForCoalesced(t *testing.T, svc *service.Service, want uint64) {
 			t.Fatalf("coalesced stuck at %d, want %d", svc.Stats().Coalesced, want)
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestClientRetriesTransient: a handler armed to fail twice with 503
+// succeeds on the third attempt under WithRetry, and the retry
+// counters record the journey.
+func TestClientRetriesTransient(t *testing.T) {
+	svc := service.New(service.Config{
+		Faults: faultinject.New(faultinject.Rule{Site: faultinject.SiteHandler, Status: 503, Times: 2}),
+	})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	cl := New(ts.URL, ts.Client()).WithRetry(RetryPolicy{
+		MaxAttempts: 4,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+	})
+
+	resp, err := cl.MinMakespanSpider(context.Background(), testSpider(), 10, false)
+	if err != nil {
+		t.Fatalf("retrying client failed: %v", err)
+	}
+	if resp.Tasks != 10 {
+		t.Errorf("tasks = %d, want 10", resp.Tasks)
+	}
+	st := cl.RetryStats()
+	if st.Attempts != 3 || st.Retries != 2 || st.GaveUp != 0 {
+		t.Errorf("retry stats = %+v, want 3 attempts, 2 retries, 0 gave-up", st)
+	}
+}
+
+// TestClientRetryHonorsRetryAfter: a shed (429) carries Retry-After;
+// the client's next sleep is at least that long.
+func TestClientRetryBudgetAndGiveUp(t *testing.T) {
+	svc := service.New(service.Config{
+		Faults: faultinject.New(faultinject.Rule{Site: faultinject.SiteHandler, Status: 503}),
+	})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	cl := New(ts.URL, ts.Client()).WithRetry(RetryPolicy{
+		MaxAttempts: 3,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+	})
+
+	_, err := cl.MinMakespanSpider(context.Background(), testSpider(), 5, false)
+	if err == nil || !strings.Contains(err.Error(), "giving up") {
+		t.Fatalf("err = %v, want give-up after exhausted attempts", err)
+	}
+	if st := cl.RetryStats(); st.GaveUp != 1 || st.Attempts != 3 {
+		t.Errorf("retry stats = %+v, want 3 attempts and 1 gave-up", st)
+	}
+
+	// Client errors (400) must NOT retry.
+	svc2 := service.New(service.Config{})
+	ts2 := httptest.NewServer(svc2.Handler())
+	defer ts2.Close()
+	cl2 := New(ts2.URL, ts2.Client()).WithRetry(RetryPolicy{BaseBackoff: time.Millisecond})
+	_, err = cl2.Do(context.Background(), &service.Request{Op: service.Op("nope"), N: 1})
+	if err == nil {
+		t.Fatal("invalid op succeeded")
+	}
+	if st := cl2.RetryStats(); st.Attempts != 1 || st.Retries != 0 {
+		t.Errorf("400 retried: stats = %+v", st)
 	}
 }

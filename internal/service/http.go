@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,18 +9,28 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"runtime/debug"
+	"strconv"
+
+	"repro/internal/faultinject"
 )
 
-// maxRequestBytes bounds a /solve body; a platform description is tiny,
-// so anything near the limit is abuse, not traffic.
+// maxRequestBytes is the default /solve body bound (Config.MaxBody); a
+// platform description is tiny, so anything near the limit is abuse,
+// not traffic.
 const maxRequestBytes = 16 << 20
+
+// statusClientClosedRequest is the de-facto (nginx) status for "the
+// client went away before we could answer"; no stdlib constant exists.
+const statusClientClosedRequest = 499
 
 // Handler returns the service's HTTP surface:
 //
 //	POST /solve   — one Request in, one Response out (JSON)
 //	GET  /stats   — aggregate counters (Stats, JSON)
 //	GET  /metrics — Prometheus text exposition of the metric registry
-//	GET  /healthz — liveness probe: build info and uptime (Health, JSON)
+//	GET  /healthz — readiness probe: 200 while serving, 503 once
+//	                draining or the admission queue is saturated
+//	GET  /livez   — liveness probe: 200 until the process exits
 //
 // With Config.Pprof set, the standard net/http/pprof handlers mount
 // under /debug/pprof/.
@@ -29,6 +40,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/livez", s.handleLivez)
 	if s.cfg.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -52,28 +64,62 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // the status line is already out; nothing to do on error
 }
 
+// solveStatus maps a Solve error onto the response status, setting any
+// per-status headers (Retry-After for sheds) on the way.
+func solveStatus(w http.ResponseWriter, err error) int {
+	var oe *OverloadError
+	switch {
+	case errors.As(err, &oe):
+		// Shed: tell the client when the predicted backlog drains.
+		w.Header().Set("Retry-After", strconv.FormatInt(int64(oe.RetryAfter.Seconds()+0.5), 10))
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrOverload):
+		w.Header().Set("Retry-After", "1")
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	case errors.Is(err, ErrInternal):
+		// A recovered panic, a violated invariant — ours, and it must
+		// show up as a 5xx in monitoring.
+		return http.StatusInternalServerError
+	default:
+		// Validation errors (malformed platform, invalid op/n/deadline,
+		// oversized values) are the client's fault.
+		return http.StatusBadRequest
+	}
+}
+
 func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST a solve request"})
 		return
 	}
+	if err := s.cfg.Faults.Fire(r.Context(), faultinject.SiteHandler); err != nil {
+		status := http.StatusInternalServerError
+		var se *faultinject.StatusError
+		if errors.As(err, &se) {
+			status = se.Code
+		}
+		writeJSON(w, status, errorBody{Error: err.Error()})
+		return
+	}
 	var req Request
-	body := http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorBody{Error: fmt.Sprintf("request body exceeds %d bytes", mbe.Limit)})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding request: %v", err)})
 		return
 	}
-	resp, err := s.Solve(&req)
+	resp, err := s.Solve(r.Context(), &req)
 	if err != nil {
-		// Validation errors (malformed platform, invalid op/n/deadline,
-		// oversized values) are the client's fault; anything wrapping
-		// ErrInternal — a recovered panic, a violated invariant — is
-		// ours and must show up as a 5xx in monitoring.
-		status := http.StatusBadRequest
-		if errors.Is(err, ErrInternal) {
-			status = http.StatusInternalServerError
-		}
-		writeJSON(w, status, errorBody{Error: err.Error()})
+		writeJSON(w, solveStatus(w, err), errorBody{Error: err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -96,17 +142,24 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = s.m.reg.WritePrometheus(w) // headers are out; nothing to do on error
 }
 
-// Health is the GET /healthz body: liveness plus enough build identity
-// to tell WHAT is live.
+// Health is the GET /healthz (readiness) and GET /livez (liveness)
+// body: status plus enough build identity to tell WHAT is answering.
 type Health struct {
 	Status        string  `json:"status"`
 	GoVersion     string  `json:"go_version"`
 	Module        string  `json:"module,omitempty"`
 	ModuleVersion string  `json:"module_version,omitempty"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Draining is true once graceful shutdown has begun: the process is
+	// still alive and finishing in-flight work, but load balancers
+	// should stop routing new traffic here.
+	Draining bool `json:"draining,omitempty"`
+	// Saturated is true while the admission queue is full — new solves
+	// would be shed, so routing elsewhere is kinder.
+	Saturated bool `json:"saturated,omitempty"`
 }
 
-func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+func (s *Service) health() Health {
 	h := Health{
 		Status:        "ok",
 		GoVersion:     runtime.Version(),
@@ -116,5 +169,28 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		h.Module = bi.Main.Path
 		h.ModuleVersion = bi.Main.Version
 	}
+	return h
+}
+
+// handleHealthz is READINESS: 503 once draining or while the admission
+// queue is saturated, so load balancers stop routing; 200 otherwise.
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.health()
+	h.Draining = s.Draining()
+	h.Saturated = s.adm.saturated()
+	if h.Draining || h.Saturated {
+		h.Status = "draining"
+		if !h.Draining {
+			h.Status = "overloaded"
+		}
+		writeJSON(w, http.StatusServiceUnavailable, h)
+		return
+	}
 	writeJSON(w, http.StatusOK, h)
+}
+
+// handleLivez is LIVENESS: 200 for as long as the process can answer
+// at all — draining included; only exit ends it.
+func (s *Service) handleLivez(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.health())
 }

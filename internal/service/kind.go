@@ -22,13 +22,15 @@ import (
 
 // backend is one warmed solver behind a cache entry. answer runs a
 // parsed query against it; setTrace attaches the entry's phase trace;
-// probeStats snapshots the solver's cumulative telemetry in the shared
-// ProbeStats shape (chains map their incremental counters onto it).
-// Implementations are not safe for concurrent use (the entry mutex
-// serialises callers).
+// setCancel attaches (nil detaches) the per-solve cancellation
+// checkpoint; probeStats snapshots the solver's cumulative telemetry
+// in the shared ProbeStats shape (chains map their incremental
+// counters onto it). Implementations are not safe for concurrent use
+// (the entry mutex serialises callers).
 type backend interface {
 	answer(q *query) (*solved, error)
 	setTrace(t *obs.SolveTrace)
+	setCancel(c *obs.CancelCheck)
 	probeStats() spider.ProbeStats
 }
 
@@ -155,7 +157,8 @@ type chainBackend struct {
 	inc *core.Incremental
 }
 
-func (b *chainBackend) setTrace(t *obs.SolveTrace) { b.inc.SetTrace(t) }
+func (b *chainBackend) setTrace(t *obs.SolveTrace)   { b.inc.SetTrace(t) }
+func (b *chainBackend) setCancel(c *obs.CancelCheck) { b.inc.SetCancel(c) }
 
 // probeStats maps the incremental plan's counters onto the shared
 // shape: FitWithin evaluations are the chain analogue of probes, the
@@ -214,6 +217,7 @@ type spiderish interface {
 	MaxTasks(n int, deadline platform.Time) (int, error)
 	ScheduleWithin(n int, deadline platform.Time) (*sched.SpiderSchedule, error)
 	SetTrace(t *obs.SolveTrace)
+	SetCancel(c *obs.CancelCheck)
 	Stats() spider.ProbeStats
 }
 
@@ -226,6 +230,7 @@ type spiderishBackend struct {
 }
 
 func (b *spiderishBackend) setTrace(t *obs.SolveTrace)    { b.s.SetTrace(t) }
+func (b *spiderishBackend) setCancel(c *obs.CancelCheck)  { b.s.SetCancel(c) }
 func (b *spiderishBackend) probeStats() spider.ProbeStats { return b.s.Stats() }
 
 func (b *spiderishBackend) answer(q *query) (*solved, error) {

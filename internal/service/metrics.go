@@ -31,6 +31,15 @@ type metrics struct {
 	evictions     *obs.Counter
 	slowQueries   *obs.Counter
 	inflight      *obs.Gauge
+
+	// Resilience counters: the failure-mode taxonomy of the README's
+	// Resilience section, one series each so the e2e can grep them even
+	// at zero.
+	sheds         *obs.Counter
+	timeouts      *obs.Counter
+	cancellations *obs.Counter
+	quarantines   *obs.Counter
+	cancelHits    *obs.Counter
 }
 
 func newMetrics(s *Service) *metrics {
@@ -45,6 +54,11 @@ func newMetrics(s *Service) *metrics {
 		evictions:     r.Counter("repro_service_evictions_total", "warmed solvers dropped by the LRU"),
 		slowQueries:   r.Counter("repro_service_slow_queries_total", "solves at or above the configured slow-query threshold"),
 		inflight:      r.Gauge("repro_service_inflight", "requests currently being answered"),
+		sheds:         r.Counter("repro_service_sheds_total", "queries refused by the admission controller (HTTP 429)"),
+		timeouts:      r.Counter("repro_service_timeouts_total", "queries that hit their solve deadline"),
+		cancellations: r.Counter("repro_service_cancellations_total", "queries whose context was cancelled (client gone, drain)"),
+		quarantines:   r.Counter("repro_service_quarantines_total", "poisoned cache entries evicted after a solver panic"),
+		cancelHits:    r.Counter("repro_service_cancel_checkpoint_hits_total", "solves stopped at a cooperative cancellation checkpoint"),
 	}
 	r.GaugeFunc("repro_service_entries", "warmed solvers currently cached", func() int64 {
 		s.mu.Lock()
@@ -53,6 +67,14 @@ func newMetrics(s *Service) *metrics {
 	})
 	r.GaugeFunc("repro_service_uptime_seconds", "seconds since the service started", func() int64 {
 		return int64(s.uptime().Seconds())
+	})
+	// s.adm is wired right after newMetrics returns (it needs the sheds
+	// counter); the closure reads it per exposition, not at registration.
+	r.GaugeFunc("repro_service_queue_depth", "requests waiting in the admission queue", func() int64 {
+		if s.adm == nil {
+			return 0
+		}
+		return s.adm.depth()
 	})
 	return m
 }

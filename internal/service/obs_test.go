@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -65,11 +66,11 @@ func TestMetricsExposition(t *testing.T) {
 	// Cold spider solve, two warm repeats at new n, one exact (memo)
 	// repeat; cold chain solve.
 	for _, n := range []int{30, 40, 50, 50} {
-		if _, err := svc.Solve(mustSpiderRequest(t, sp, OpMinMakespan, n, 0)); err != nil {
+		if _, err := svc.Solve(context.Background(), mustSpiderRequest(t, sp, OpMinMakespan, n, 0)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := svc.Solve(mustChainRequest(t, ch, OpMaxTasks, 20, 500)); err != nil {
+	if _, err := svc.Solve(context.Background(), mustChainRequest(t, ch, OpMaxTasks, 20, 500)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -142,7 +143,7 @@ func TestCostBlock(t *testing.T) {
 	svc := New(Config{})
 	sp := testSpider()
 
-	cold, err := svc.Solve(mustSpiderRequest(t, sp, OpMinMakespan, 40, 0))
+	cold, err := svc.Solve(context.Background(), mustSpiderRequest(t, sp, OpMinMakespan, 40, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestCostBlock(t *testing.T) {
 		t.Errorf("cold cost phases missing construct/pack: %v", c.PhaseNs)
 	}
 
-	warm, err := svc.Solve(mustSpiderRequest(t, sp, OpMinMakespan, 25, 0))
+	warm, err := svc.Solve(context.Background(), mustSpiderRequest(t, sp, OpMinMakespan, 25, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestCostBlock(t *testing.T) {
 		t.Fatalf("warm cost block: %+v, want probes > 0", w)
 	}
 
-	memo, err := svc.Solve(mustSpiderRequest(t, sp, OpMinMakespan, 25, 0))
+	memo, err := svc.Solve(context.Background(), mustSpiderRequest(t, sp, OpMinMakespan, 25, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestSlowQueryLogMatchesCost(t *testing.T) {
 	svc := New(Config{SlowQuery: time.Nanosecond, SlowLog: &buf})
 	sp := testSpider()
 
-	resp, err := svc.Solve(mustSpiderRequest(t, sp, OpMinMakespan, 40, 0))
+	resp, err := svc.Solve(context.Background(), mustSpiderRequest(t, sp, OpMinMakespan, 40, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestSlowQueryLogMatchesCost(t *testing.T) {
 
 	// A memo repeat solves nothing (solve_ns 0) and must not log.
 	buf.Reset()
-	if _, err := svc.Solve(mustSpiderRequest(t, sp, OpMinMakespan, 40, 0)); err != nil {
+	if _, err := svc.Solve(context.Background(), mustSpiderRequest(t, sp, OpMinMakespan, 40, 0)); err != nil {
 		t.Fatal(err)
 	}
 	if buf.Len() != 0 {
@@ -266,7 +267,7 @@ func TestServiceMetricsHammer(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				if _, err := svc.Solve(req); err != nil {
+				if _, err := svc.Solve(context.Background(), req); err != nil {
 					t.Error(err)
 					return
 				}

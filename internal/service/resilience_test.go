@@ -1,0 +1,450 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/platform"
+	"repro/internal/spider"
+)
+
+// The chaos suite: every failure mode the resilience layer claims to
+// handle, provoked deterministically with fault injection and
+// counter-asserted. No sleeps stand in for synchronisation — hooks,
+// channels and counter polls make each scenario reproducible.
+
+// TestSolveTimeoutCancelsSlowConstruction is the PR's timeout
+// acceptance test: a fault-injected 5s construction under a 100ms
+// solve timeout must fail with DeadlineExceeded in far less than the
+// construction delay, the timeout must be classified in the counters,
+// and the cancellation checkpoint must have provably stopped the work.
+func TestSolveTimeoutCancelsSlowConstruction(t *testing.T) {
+	svc := New(Config{
+		SolveTimeout: 100 * time.Millisecond,
+		Faults:       faultinject.New(faultinject.Rule{Site: faultinject.SiteConstruct, DelayMs: 5000}),
+	})
+	req := mustSpiderRequest(t, testSpider(), OpMinMakespan, 12, 0)
+
+	start := time.Now()
+	_, err := svc.Solve(context.Background(), req)
+	took := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Solve = %v, want deadline exceeded", err)
+	}
+	if took > 2*time.Second {
+		t.Errorf("timeout took %s; the 100ms deadline should have cut the 5s delay short", took)
+	}
+	st := svc.Stats()
+	if st.Timeouts != 1 {
+		t.Errorf("timeouts = %d, want 1", st.Timeouts)
+	}
+	if hits := svc.m.cancelHits.Value(); hits < 1 {
+		t.Errorf("cancel checkpoint hits = %d, want >= 1 (the proof the solver stopped)", hits)
+	}
+
+	// The metric series the CI smoke greps must exist in the exposition.
+	var buf bytes.Buffer
+	if err := svc.Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{
+		"repro_service_sheds_total",
+		"repro_service_timeouts_total",
+		"repro_service_cancellations_total",
+		"repro_service_quarantines_total",
+		"repro_service_cancel_checkpoint_hits_total",
+		"repro_service_queue_depth",
+	} {
+		if !strings.Contains(buf.String(), series) {
+			t.Errorf("metrics exposition missing %s", series)
+		}
+	}
+}
+
+// TestRequestTimeoutMsBoundsSolve: the per-request timeout_ms field
+// alone (no server-wide SolveTimeout) enforces a deadline.
+func TestRequestTimeoutMsBoundsSolve(t *testing.T) {
+	svc := New(Config{
+		Faults: faultinject.New(faultinject.Rule{Site: faultinject.SiteConstruct, DelayMs: 5000}),
+	})
+	req := mustSpiderRequest(t, testSpider(), OpMinMakespan, 12, 0)
+	req.TimeoutMs = 50
+
+	start := time.Now()
+	_, err := svc.Solve(context.Background(), req)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Solve = %v, want deadline exceeded from timeout_ms", err)
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Errorf("timeout_ms took %s to fire", took)
+	}
+	if st := svc.Stats(); st.Timeouts != 1 {
+		t.Errorf("timeouts = %d, want 1", st.Timeouts)
+	}
+}
+
+// TestClientDisconnectCancelsSolve: a caller-cancelled context (the
+// HTTP layer's client disconnect) stops the solve and is classified as
+// a cancellation, not a timeout.
+func TestClientDisconnectCancelsSolve(t *testing.T) {
+	svc := New(Config{
+		Faults: faultinject.New(faultinject.Rule{Site: faultinject.SiteConstruct, DelayMs: 5000}),
+	})
+	req := mustSpiderRequest(t, testSpider(), OpMinMakespan, 12, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, err := svc.Solve(ctx, req)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Solve = %v, want context.Canceled", err)
+	}
+	st := svc.Stats()
+	if st.Cancellations != 1 || st.Timeouts != 0 {
+		t.Errorf("cancellations = %d, timeouts = %d; want 1 and 0", st.Cancellations, st.Timeouts)
+	}
+}
+
+// TestOverloadShedsWithRetryAfter is the overload acceptance test: with
+// one worker and a one-deep queue, a burst of distinct cold platforms
+// gets exactly the overflow shed with OverloadError (429 + Retry-After
+// upstairs) while every admitted request completes correctly.
+func TestOverloadShedsWithRetryAfter(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueMax: 1})
+	entered := make(chan struct{}, 8)
+	release := make(chan struct{})
+	svc.testHookBuild = func() {
+		entered <- struct{}{}
+		<-release
+	}
+
+	sp := func(i int) platform.Spider {
+		return platform.NewSpider(platform.NewChain(1, platform.Time(i+2)), platform.NewChain(2, 3))
+	}
+	solve := func(i int) (*Response, error) {
+		return svc.Solve(context.Background(), mustSpiderRequest(t, sp(i), OpMinMakespan, 10, 0))
+	}
+
+	// A holds the only worker slot inside its construction.
+	var wg sync.WaitGroup
+	var respA, respB *Response
+	var errA, errB error
+	wg.Add(1)
+	go func() { defer wg.Done(); respA, errA = solve(0) }()
+	<-entered
+
+	// B queues: the pool is busy, the one queue seat is free.
+	wg.Add(1)
+	go func() { defer wg.Done(); respB, errB = solve(1) }()
+	waitForQueueDepth(t, svc, 1)
+
+	// C..F arrive with the queue full: all shed, synchronously.
+	const shedWant = 4
+	for i := 0; i < shedWant; i++ {
+		_, err := solve(2 + i)
+		var oe *OverloadError
+		if !errors.As(err, &oe) {
+			t.Fatalf("burst request %d: err = %v, want OverloadError", i, err)
+		}
+		if !errors.Is(err, ErrOverload) {
+			t.Errorf("burst request %d: error does not wrap ErrOverload", i)
+		}
+		if oe.RetryAfter < time.Second {
+			t.Errorf("burst request %d: Retry-After %s, want >= 1s", i, oe.RetryAfter)
+		}
+	}
+	if st := svc.Stats(); st.Sheds != shedWant {
+		t.Errorf("sheds = %d, want %d", st.Sheds, shedWant)
+	}
+
+	close(release)
+	wg.Wait()
+	for i, got := range []struct {
+		resp *Response
+		err  error
+	}{{respA, errA}, {respB, errB}} {
+		if got.err != nil {
+			t.Fatalf("admitted request %d failed: %v", i, got.err)
+		}
+		wantMk, _, err := spider.MinMakespan(sp(i), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.resp.Makespan != wantMk {
+			t.Errorf("admitted request %d: makespan %d, want %d", i, got.resp.Makespan, wantMk)
+		}
+	}
+	if d := svc.Stats().QueueDepth; d != 0 {
+		t.Errorf("queue depth after drain = %d, want 0", d)
+	}
+}
+
+// TestPoisonedEntryQuarantine is the satellite's poisoned-entry drill:
+// M coalesced requests share one solve that panics; each sees the
+// error exactly once, the entry is quarantined and evicted, and the
+// next identical request reconstructs fresh and succeeds —
+// counter-asserted via quarantines and constructions.
+func TestPoisonedEntryQuarantine(t *testing.T) {
+	const m = 6
+	svc := New(Config{
+		Faults: faultinject.New(faultinject.Rule{Site: faultinject.SiteSolve, Panic: "poisoned solver state", Times: 1}),
+	})
+	release := make(chan struct{})
+	svc.testHookBuild = func() { <-release }
+
+	sp := testSpider()
+	n := 25
+	var wg sync.WaitGroup
+	errs := make([]error, m)
+	wg.Add(m)
+	for i := 0; i < m; i++ {
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = svc.Solve(context.Background(), mustSpiderRequest(t, sp, OpMinMakespan, n, 0))
+		}(i)
+	}
+	waitForStat(t, svc, "coalesced", m-1)
+	close(release)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("request %d: poisoned solve succeeded", i)
+		}
+		if !errors.Is(err, ErrInternal) || !strings.Contains(err.Error(), "poisoned") {
+			t.Errorf("request %d: err = %v, want ErrInternal carrying the panic", i, err)
+		}
+	}
+	st := svc.Stats()
+	if st.Quarantines != 1 {
+		t.Errorf("quarantines = %d, want exactly 1 (one panic, M witnesses)", st.Quarantines)
+	}
+	if st.Constructions != 1 {
+		t.Errorf("constructions = %d, want 1 before the retry", st.Constructions)
+	}
+
+	// The poisoned entry is gone: the next identical request misses,
+	// reconstructs, and answers correctly (the fault rule is spent).
+	resp, err := svc.Solve(context.Background(), mustSpiderRequest(t, sp, OpMinMakespan, n, 0))
+	if err != nil {
+		t.Fatalf("post-quarantine request: %v", err)
+	}
+	wantMk, _, err := spider.MinMakespan(sp, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Makespan != wantMk {
+		t.Errorf("post-quarantine makespan %d, want %d", resp.Makespan, wantMk)
+	}
+	if st := svc.Stats(); st.Constructions != 2 {
+		t.Errorf("constructions after retry = %d, want 2 (fresh reconstruction)", st.Constructions)
+	}
+}
+
+// TestConstructionPanicQuarantinedOnce: a panic during construction
+// (never cached) resolves every coalesced waiter with the error once
+// and counts as a quarantine; the next request rebuilds.
+func TestConstructionPanicQuarantinedOnce(t *testing.T) {
+	svc := New(Config{
+		Faults: faultinject.New(faultinject.Rule{Site: faultinject.SiteConstruct, Panic: "construction blew up", Times: 1}),
+	})
+	sp := testSpider()
+	_, err := svc.Solve(context.Background(), mustSpiderRequest(t, sp, OpMinMakespan, 8, 0))
+	if !errors.Is(err, ErrInternal) || !strings.Contains(err.Error(), "blew up") {
+		t.Fatalf("err = %v, want ErrInternal carrying the construction panic", err)
+	}
+	if st := svc.Stats(); st.Quarantines != 1 {
+		t.Errorf("quarantines = %d, want 1", st.Quarantines)
+	}
+	resp, err := svc.Solve(context.Background(), mustSpiderRequest(t, sp, OpMinMakespan, 8, 0))
+	if err != nil {
+		t.Fatalf("rebuild after construction panic: %v", err)
+	}
+	wantMk, _, err := spider.MinMakespan(sp, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Makespan != wantMk {
+		t.Errorf("rebuilt makespan %d, want %d", resp.Makespan, wantMk)
+	}
+}
+
+// TestMaxBodyRejectsOversized is the satellite's body-cap table test:
+// payloads under, at, and just over -max-body, plus a grossly
+// oversized one, against the real handler.
+func TestMaxBodyRejectsOversized(t *testing.T) {
+	const limit = 2048
+	svc := New(Config{MaxBody: limit})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	// padTo inflates a valid solve request to exactly size bytes with a
+	// junk field the decoder ignores.
+	padTo := func(t *testing.T, size int) []byte {
+		t.Helper()
+		req := mustSpiderRequest(t, testSpider(), OpMinMakespan, 5, 0)
+		base, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const overhead = len(`,"pad":""`)
+		padLen := size - len(base) - overhead
+		if padLen < 0 {
+			t.Fatalf("base request (%d bytes) already exceeds target %d", len(base), size)
+		}
+		body := fmt.Sprintf(`%s,"pad":%q}`, base[:len(base)-1], strings.Repeat("x", padLen))
+		if len(body) != size {
+			t.Fatalf("padTo built %d bytes, want %d", len(body), size)
+		}
+		return []byte(body)
+	}
+
+	for _, tc := range []struct {
+		name string
+		size int
+		want int
+	}{
+		{"well under", 512, http.StatusOK},
+		{"at limit", limit, http.StatusOK},
+		{"one over", limit + 1, http.StatusRequestEntityTooLarge},
+		{"grossly over", 64 * limit, http.StatusRequestEntityTooLarge},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := ts.Client().Post(ts.URL+"/solve", "application/json", bytes.NewReader(padTo(t, tc.size)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("%d-byte body: status %d, want %d", tc.size, resp.StatusCode, tc.want)
+			}
+			if tc.want == http.StatusRequestEntityTooLarge {
+				var eb struct {
+					Error string `json:"error"`
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || !strings.Contains(eb.Error, "exceeds") {
+					t.Errorf("413 envelope = %q (%v), want the limit message", eb.Error, err)
+				}
+			}
+		})
+	}
+}
+
+// TestSolveStatusMapping pins the error→HTTP taxonomy in one table.
+func TestSolveStatusMapping(t *testing.T) {
+	for _, tc := range []struct {
+		err        error
+		want       int
+		retryAfter string
+	}{
+		{&OverloadError{RetryAfter: 3 * time.Second}, http.StatusTooManyRequests, "3"},
+		{fmt.Errorf("wrapped: %w", ErrOverload), http.StatusTooManyRequests, "1"},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout, ""},
+		{context.Canceled, statusClientClosedRequest, ""},
+		{fmt.Errorf("%w: solver panic", ErrInternal), http.StatusInternalServerError, ""},
+		{errors.New("malformed platform"), http.StatusBadRequest, ""},
+	} {
+		w := httptest.NewRecorder()
+		if got := solveStatus(w, tc.err); got != tc.want {
+			t.Errorf("solveStatus(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+		if ra := w.Header().Get("Retry-After"); ra != tc.retryAfter {
+			t.Errorf("solveStatus(%v) Retry-After = %q, want %q", tc.err, ra, tc.retryAfter)
+		}
+	}
+}
+
+// TestHandlerOverloadIs429 drives one shed through the real HTTP
+// surface: status 429 and a positive integer Retry-After header.
+func TestHandlerOverloadIs429(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueMax: 1})
+	entered := make(chan struct{}, 4)
+	release := make(chan struct{})
+	svc.testHookBuild = func() {
+		entered <- struct{}{}
+		<-release
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	// Registered after ts.Close so it runs FIRST: the server's Close
+	// waits for in-flight requests, which wait on release.
+	defer close(release)
+
+	post := func(sp platform.Spider) *http.Response {
+		t.Helper()
+		body, err := json.Marshal(mustSpiderRequest(t, sp, OpMinMakespan, 10, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ts.Client().Post(ts.URL+"/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	go func() {
+		resp := post(platform.NewSpider(platform.NewChain(2, 5)))
+		resp.Body.Close()
+	}()
+	<-entered
+	go func() {
+		resp := post(platform.NewSpider(platform.NewChain(2, 6)))
+		resp.Body.Close()
+	}()
+	waitForQueueDepth(t, svc, 1)
+
+	resp := post(platform.NewSpider(platform.NewChain(2, 7)))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Errorf("Retry-After = %q, want a positive integer", ra)
+	}
+}
+
+func waitForQueueDepth(t *testing.T, svc *Service, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for svc.Stats().QueueDepth != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth stuck at %d, want %d", svc.Stats().QueueDepth, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func waitForStat(t *testing.T, svc *Service, which string, want int) {
+	t.Helper()
+	read := func() uint64 {
+		st := svc.Stats()
+		switch which {
+		case "coalesced":
+			return st.Coalesced
+		case "misses":
+			return st.Misses
+		default:
+			t.Fatalf("unknown stat %q", which)
+			return 0
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for read() != uint64(want) {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s stuck at %d, want %d", which, read(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -12,8 +13,10 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sched"
@@ -42,6 +45,29 @@ type Config struct {
 	// Off by default: the profiler exposes internals and costs a little
 	// on every allocation when profiled.
 	Pprof bool
+	// SolveTimeout, when positive, bounds every solve's wall time: the
+	// request context is given this deadline (tightened further by a
+	// request's own timeout_ms) and the solver's cooperative
+	// cancellation checkpoints stop the work when it passes. Zero means
+	// no server-side deadline.
+	SolveTimeout time.Duration
+	// QueueMax bounds the admission wait queue: requests beyond the
+	// Workers concurrency cap queue up to QueueMax deep, and further
+	// arrivals are shed with ErrOverload (HTTP 429). Default
+	// 16×Workers.
+	QueueMax int
+	// ShedBudget, when positive, sheds while the worker pool is busy
+	// and the predicted backlog — the summed cost-model predictions of
+	// admitted and queued work — exceeds it. Zero disables cost-based
+	// shedding (the queue bound still applies).
+	ShedBudget time.Duration
+	// MaxBody bounds a /solve request body in bytes; oversized bodies
+	// are rejected with HTTP 413. Default 16 MiB.
+	MaxBody int64
+	// Faults, when non-nil, arms the fault-injection harness's hook
+	// points (construction, solve, handler) — a test and chaos-drill
+	// seam. Nil, the default, costs one pointer compare per site.
+	Faults *faultinject.Injector
 }
 
 // Service answers scheduling queries from an LRU cache of warmed
@@ -49,9 +75,14 @@ type Config struct {
 // concurrent use.
 type Service struct {
 	cfg   Config
-	sem   chan struct{} // worker slots: held during constructions and solves
+	adm   *admission // worker slots + bounded queue + load shedder
+	cm    *costModel // per-kind cold/warm cost EWMAs feeding the shedder
 	start time.Time
 	m     *metrics
+
+	// draining flips once graceful shutdown begins; the readiness probe
+	// reports 503 so load balancers stop routing here.
+	draining atomic.Bool
 
 	mu       sync.Mutex
 	entries  map[ckey]*list.Element // -> *entry in lru
@@ -82,9 +113,14 @@ func New(cfg Config) *Service {
 	if cfg.SlowLog == nil {
 		cfg.SlowLog = os.Stderr
 	}
+	if cfg.QueueMax <= 0 {
+		cfg.QueueMax = 16 * cfg.Workers
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = maxRequestBytes
+	}
 	s := &Service{
 		cfg:      cfg,
-		sem:      make(chan struct{}, cfg.Workers),
 		start:    time.Now(),
 		entries:  make(map[ckey]*list.Element),
 		lru:      list.New(),
@@ -92,8 +128,19 @@ func New(cfg Config) *Service {
 		building: make(map[ckey]*construction),
 	}
 	s.m = newMetrics(s)
+	s.adm = newAdmission(cfg.Workers, cfg.QueueMax, cfg.ShedBudget, s.m.sheds)
+	s.cm = newCostModel()
 	return s
 }
+
+// SetDraining marks (or clears) the service as draining: the readiness
+// probe answers 503 so load balancers stop routing, while everything
+// already in flight keeps being served. msserve sets it the moment
+// shutdown begins.
+func (s *Service) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports whether SetDraining marked the service.
+func (s *Service) Draining() bool { return s.draining.Load() }
 
 // Metrics returns the service's metric registry — the source of truth
 // behind GET /metrics and the counter half of Stats.
@@ -130,6 +177,11 @@ func (s *Service) Stats() Stats {
 		MemoHits:      uint64(s.m.memoHits.Value()),
 		Constructions: uint64(s.m.constructions.Value()),
 		Evictions:     uint64(s.m.evictions.Value()),
+		Sheds:         uint64(s.m.sheds.Value()),
+		Timeouts:      uint64(s.m.timeouts.Value()),
+		Cancellations: uint64(s.m.cancellations.Value()),
+		Quarantines:   uint64(s.m.quarantines.Value()),
+		QueueDepth:    s.adm.depth(),
 		UptimeSeconds: s.uptime().Seconds(),
 	}
 	s.mu.Lock()
@@ -221,12 +273,17 @@ func memoKeyFor(q *query) (memoKey, bool) {
 // fills exactly the platform field matching the solver kind.
 type query struct {
 	req       *Request
+	ctx       context.Context // request context: deadline + disconnect
 	key       ckey            // cache key: solver kind (forks → spider) + fingerprint
 	h         *kindHandler    // the wire kind's registry entry
 	chain     platform.Chain  // chain kind
 	sp        platform.Spider // spider kind, request leg order
 	tr        platform.Tree   // tree kind, request sibling order
 	flightKey string
+	// retried marks that this query already re-entered the cache path
+	// once after inheriting a dead leader's context error, so a second
+	// inherited failure is returned as-is.
+	retried bool
 }
 
 // parse decodes and validates the request. Unlike the cache key, the
@@ -276,22 +333,67 @@ func (s *Service) parse(req *Request) (*query, error) {
 	return q, nil
 }
 
+// solveDeadline is the effective per-request solve deadline: the
+// tighter of the configured SolveTimeout and the request's own
+// timeout_ms. Zero means none.
+func (s *Service) solveDeadline(req *Request) time.Duration {
+	d := s.cfg.SolveTimeout
+	if req.TimeoutMs > 0 {
+		if rd := time.Duration(req.TimeoutMs) * time.Millisecond; d == 0 || rd < d {
+			d = rd
+		}
+	}
+	return d
+}
+
 // Solve answers one query, coalescing with identical in-flight queries
 // and reusing (or constructing) the warmed solver for the platform.
-func (s *Service) Solve(req *Request) (resp *Response, err error) {
+// The context carries the caller's cancellation (an HTTP client
+// disconnect, the drain deadline) and is tightened by the configured
+// solve timeout; a dead context stops the solver at its cooperative
+// checkpoints and surfaces as the context's error. nil is accepted and
+// means context.Background().
+func (s *Service) Solve(ctx context.Context, req *Request) (resp *Response, err error) {
 	s.m.inflight.Add(1)
 	defer s.m.inflight.Add(-1)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if d := s.solveDeadline(req); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	// Outcome classification happens once, here, whatever path produced
+	// the error: the counters are the /metrics taxonomy (timeout vs
+	// cancellation), and coalesced joiners inheriting a leader's fate
+	// count too — the client saw the failure either way.
+	defer func() {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.m.timeouts.Inc()
+		case errors.Is(err, context.Canceled):
+			s.m.cancellations.Inc()
+		}
+	}()
 	q, err := s.parse(req)
 	if err != nil {
 		return nil, err
 	}
+	q.ctx = ctx
 
 	s.mu.Lock()
 	if c, ok := s.flight[q.flightKey]; ok {
-		// An identical query is already solving: join it.
+		// An identical query is already solving: join it. Joiners wait
+		// on their own context — a leader stuck in a long solve must not
+		// pin a joiner past its deadline.
 		s.m.coalesced.Inc()
 		s.mu.Unlock()
-		<-c.done
+		select {
+		case <-c.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 		if c.err != nil {
 			return nil, c.err
 		}
@@ -321,6 +423,10 @@ func (s *Service) Solve(req *Request) (resp *Response, err error) {
 func (s *Service) solveLeading(q *query) (*Response, error) {
 	var e *entry
 	cache := "miss"
+	// admitWaived marks that this very request just paid cold-class
+	// admission for the construction; its first solve is admitted
+	// without a second shed decision (it still waits its slot turn).
+	admitWaived := false
 	if el, ok := s.entries[q.key]; ok {
 		s.lru.MoveToFront(el)
 		e = el.Value.(*entry)
@@ -329,11 +435,26 @@ func (s *Service) solveLeading(q *query) (*Response, error) {
 		s.mu.Unlock()
 	} else if b, ok := s.building[q.key]; ok {
 		// A different query is already building this platform's
-		// solver: wait for it rather than constructing twice.
+		// solver: wait for it rather than constructing twice — on our
+		// own context, so a stuck build cannot pin us past our deadline.
 		s.m.misses.Inc()
 		s.mu.Unlock()
-		<-b.done
+		select {
+		case <-b.done:
+		case <-q.ctx.Done():
+			return nil, q.ctx.Err()
+		}
 		if b.err != nil {
+			// A leader dying of ITS deadline (or client disconnect) is
+			// not this query's failure: re-enter the cache path once —
+			// the building slot is gone, so this query reconstructs
+			// under its own, still-live context.
+			if !q.retried && q.ctx.Err() == nil &&
+				(errors.Is(b.err, context.Canceled) || errors.Is(b.err, context.DeadlineExceeded)) {
+				q.retried = true
+				s.mu.Lock()
+				return s.solveLeading(q)
+			}
 			return nil, b.err
 		}
 		e = b.e
@@ -351,20 +472,21 @@ func (s *Service) solveLeading(q *query) (*Response, error) {
 			return nil, b.err
 		}
 		e = b.e
+		admitWaived = true
 	}
 
 	// Entry mutex BEFORE the worker slot: same-entry queries serialise
 	// on e.mu anyway, and taking a slot first would let them pin every
 	// slot while waiting their turn, starving other platforms. No
-	// deadlock: sem holders never wait on an entry mutex. An exact
+	// deadlock: slot holders never wait on an entry mutex. An exact
 	// repeat of a scalar query resolves from the memo inside the entry
-	// mutex alone — no worker slot, no solve.
+	// mutex alone — no worker slot, no admission, no solve.
 	var solveNs int64
 	var cost *Cost
 	var phaseDelta obs.PhaseSnapshot
 	memoK, memoable := memoKeyFor(q)
 	memoHit := false
-	sol, err := func() (*solved, error) {
+	sol, err := func() (sol *solved, err error) {
 		e.mu.Lock()
 		defer e.mu.Unlock()
 		if memoable {
@@ -374,11 +496,43 @@ func (s *Service) solveLeading(q *query) (*Response, error) {
 				return &solved{tasks: v.tasks, makespan: v.makespan}, nil
 			}
 		}
-		s.sem <- struct{}{}
-		defer func() { <-s.sem }()
+		release, admErr := s.adm.admit(q.ctx, s.cm.predict(q.key.kind, false), admitWaived)
+		if admErr != nil {
+			return nil, admErr
+		}
+		defer release()
+		// Panic quarantine: a panicking solve poisons the warmed entry —
+		// its internal state is mid-unwind garbage — so the entry is
+		// evicted and the next query reconstructs fresh, instead of every
+		// future (and coalesced) query re-hitting the same panic. A
+		// cancellation-checkpoint unwind is NOT poison: it is the
+		// solver's own orderly exit and must never quarantine.
+		defer func() {
+			if r := recover(); r != nil {
+				if ce, ok := obs.Canceled(r); ok {
+					err = ce
+					return
+				}
+				s.quarantine(e)
+				err = fmt.Errorf("%w: solving: %v", ErrInternal, r)
+			}
+		}()
+		if ferr := s.cfg.Faults.Fire(q.ctx, faultinject.SiteSolve); ferr != nil {
+			return nil, ferr
+		}
+		// The checkpoint is attached for exactly this answer and
+		// detached before the entry lock releases; hits count into the
+		// cancel-checkpoint metric — the proof a dead request actually
+		// stopped the solver.
+		cc := obs.NewCancelCheck(q.ctx, s.m.cancelHits)
+		e.be.setCancel(cc)
+		defer e.be.setCancel(nil)
 		start := time.Now()
-		sol, err := e.be.answer(q)
+		sol, err = e.be.answer(q)
 		solveNs = time.Since(start).Nanoseconds()
+		if err == nil {
+			s.cm.observe(q.key.kind, false, solveNs)
+		}
 		// The entry's cost delta — still under e.mu, so the
 		// read-modify-write of the last read points is exclusive.
 		snap := e.trace.Snapshot()
@@ -444,27 +598,64 @@ func (s *Service) logSlow(q *query, resp *Response) {
 		c.Probes, c.PackProbes, c.RewindHits, c.Constructed, formatPhases(c.PhaseNs))
 }
 
+// quarantine evicts a poisoned entry: after a solve panic the warmed
+// solver's internal state is untrustworthy, so the entry leaves the
+// cache (if it is still the cached one — an eviction or a fresher
+// build may have displaced it) and the next query reconstructs fresh.
+// Callers may hold e.mu; nothing takes e.mu under s.mu, so the order
+// here (s.mu inside e.mu) cannot invert anywhere.
+func (s *Service) quarantine(e *entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m.quarantines.Inc()
+	if el, ok := s.entries[e.key]; ok && el.Value.(*entry) == e {
+		s.lru.Remove(el)
+		delete(s.entries, e.key)
+	}
+}
+
 // construct builds the warmed solver for the query's platform under a
-// worker slot and inserts it into the LRU, evicting beyond capacity.
-// Constructions are serialised per cache key by the building map, so
-// the insert never races another construction of the same key. Panics
-// out of the solver constructors are converted to errors here so the
-// waiting builds resolve.
+// cold-class admission slot and inserts it into the LRU, evicting
+// beyond capacity. Constructions are serialised per cache key by the
+// building map, so the insert never races another construction of the
+// same key. Panics out of the solver constructors are converted to
+// errors here — and counted as quarantines: the build is poisoned
+// exactly like a panicking solve, it just was never cached — so the
+// waiting builds resolve with the error exactly once each.
 func (s *Service) construct(q *query) (e *entry, err error) {
-	s.sem <- struct{}{}
+	release, admErr := s.adm.admit(q.ctx, s.cm.predict(q.key.kind, true), false)
+	if admErr != nil {
+		return nil, admErr
+	}
 	defer func() {
-		<-s.sem
+		release()
 		if r := recover(); r != nil {
+			s.m.quarantines.Inc()
 			e, err = nil, fmt.Errorf("%w: constructing solver: %v", ErrInternal, r)
 		}
 	}()
 	if hook := s.testHookBuild; hook != nil {
 		hook()
 	}
+	start := time.Now()
+	// The checkpoint proves a cancelled construction stopped HERE: the
+	// fault site's delay observes the context, and the poll after it
+	// trips the checkpoint-hit counter before any solver work runs.
+	cc := obs.NewCancelCheck(q.ctx, s.m.cancelHits)
+	if ferr := s.cfg.Faults.Fire(q.ctx, faultinject.SiteConstruct); ferr != nil {
+		if cerr := cc.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, ferr
+	}
+	if cerr := cc.Err(); cerr != nil {
+		return nil, cerr
+	}
 	be, err := q.h.construct(q)
 	if err != nil {
 		return nil, err
 	}
+	s.cm.observe(q.key.kind, true, time.Since(start).Nanoseconds())
 	e = &entry{key: q.key, be: be, trace: &obs.SolveTrace{}}
 	// Attaching right after construction flushes the build-time set-up
 	// (leg dedup, tree cover) into the trace, so the first solve's cost

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -58,7 +59,7 @@ func TestCoalescingExactlyOneConstruction(t *testing.T) {
 				return
 			}
 			req.Platform = reqBuilt.Platform
-			resps[i], errs[i] = svc.Solve(req)
+			resps[i], errs[i] = svc.Solve(context.Background(), req)
 		}(i)
 	}
 
@@ -128,7 +129,7 @@ func TestWarmRepeatMatchesDirect(t *testing.T) {
 
 	req := mustSpiderRequest(t, sp, OpMinMakespan, n, 0)
 	req.IncludeSchedule = true
-	cold, err := svc.Solve(req)
+	cold, err := svc.Solve(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestWarmRepeatMatchesDirect(t *testing.T) {
 		t.Errorf("cold query cache = %q, want miss", cold.Meta.Cache)
 	}
 
-	warm, err := svc.Solve(req)
+	warm, err := svc.Solve(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestWarmCrossNMatchesDirect(t *testing.T) {
 	for i, n := range []int{base, base + 1, base - 1, base + 7, base - 9, base} {
 		req := mustSpiderRequest(t, sp, OpMinMakespan, n, 0)
 		req.IncludeSchedule = true
-		resp, err := svc.Solve(req)
+		resp, err := svc.Solve(context.Background(), req)
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
@@ -220,13 +221,13 @@ func TestIsomorphicSpidersShareEntry(t *testing.T) {
 	svc := New(Config{})
 
 	req := mustSpiderRequest(t, sp, OpMinMakespan, n, 0)
-	if _, err := svc.Solve(req); err != nil {
+	if _, err := svc.Solve(context.Background(), req); err != nil {
 		t.Fatal(err)
 	}
 
 	preq := mustSpiderRequest(t, perm, OpMinMakespan, n, 0)
 	preq.IncludeSchedule = true
-	resp, err := svc.Solve(preq)
+	resp, err := svc.Solve(context.Background(), preq)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +272,7 @@ func TestChainQueries(t *testing.T) {
 		t.Fatal(err)
 	}
 	req.IncludeSchedule = true
-	resp, err := svc.Solve(req)
+	resp, err := svc.Solve(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +296,7 @@ func TestChainQueries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dresp, err := svc.Solve(dreq)
+	dresp, err := svc.Solve(context.Background(), dreq)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,7 +324,7 @@ func TestChainAndOneLegSpiderCoexist(t *testing.T) {
 
 	sreq := mustSpiderRequest(t, sp, OpMinMakespan, n, 0)
 	sreq.IncludeSchedule = true
-	sresp, err := svc.Solve(sreq)
+	sresp, err := svc.Solve(context.Background(), sreq)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -332,7 +333,7 @@ func TestChainAndOneLegSpiderCoexist(t *testing.T) {
 		t.Fatal(err)
 	}
 	creq.IncludeSchedule = true
-	cresp, err := svc.Solve(creq)
+	cresp, err := svc.Solve(context.Background(), creq)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,7 +379,7 @@ func TestForkSharesSpiderEntry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fresp, err := svc.Solve(freq)
+	fresp, err := svc.Solve(context.Background(), freq)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,7 +392,7 @@ func TestForkSharesSpiderEntry(t *testing.T) {
 	}
 
 	sreq := mustSpiderRequest(t, f.Spider(), OpMaxTasks, 10, 12)
-	sresp, err := svc.Solve(sreq)
+	sresp, err := svc.Solve(context.Background(), sreq)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -414,7 +415,7 @@ func TestScheduleWithinMatchesSolver(t *testing.T) {
 	for deadline := platform.Time(0); deadline <= 40; deadline += 5 {
 		req := mustSpiderRequest(t, sp, OpScheduleWithin, 12, deadline)
 		req.IncludeSchedule = true
-		resp, err := svc.Solve(req)
+		resp, err := svc.Solve(context.Background(), req)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -447,7 +448,7 @@ func TestEviction(t *testing.T) {
 
 	for round := 0; round < 3; round++ {
 		for _, sp := range []platform.Spider{a, b} {
-			resp, err := svc.Solve(mustSpiderRequest(t, sp, OpMinMakespan, 7, 0))
+			resp, err := svc.Solve(context.Background(), mustSpiderRequest(t, sp, OpMinMakespan, 7, 0))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -506,7 +507,7 @@ func TestBadRequests(t *testing.T) {
 		}},
 	}
 	for _, tc := range cases {
-		if _, err := svc.Solve(tc.req); err == nil {
+		if _, err := svc.Solve(context.Background(), tc.req); err == nil {
 			t.Errorf("%s: accepted", tc.name)
 		}
 	}
@@ -547,7 +548,7 @@ func TestConcurrentMixedTraffic(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				if _, err := svc.Solve(req); err != nil {
+				if _, err := svc.Solve(context.Background(), req); err != nil {
 					t.Error(err)
 					return
 				}
@@ -558,7 +559,7 @@ func TestConcurrentMixedTraffic(t *testing.T) {
 
 	// Spot-check correctness after the storm.
 	sp := spiders[1]
-	resp, err := svc.Solve(mustSpiderRequest(t, sp, OpMinMakespan, 6, 0))
+	resp, err := svc.Solve(context.Background(), mustSpiderRequest(t, sp, OpMinMakespan, 6, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -580,14 +581,14 @@ func TestMemoExactRepeat(t *testing.T) {
 	n := 18
 	svc := New(Config{})
 
-	first, err := svc.Solve(mustSpiderRequest(t, sp, OpMinMakespan, n, 0))
+	first, err := svc.Solve(context.Background(), mustSpiderRequest(t, sp, OpMinMakespan, n, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if first.Meta.Memo {
 		t.Error("cold query claims a memo hit")
 	}
-	repeat, err := svc.Solve(mustSpiderRequest(t, sp, OpMinMakespan, n, 0))
+	repeat, err := svc.Solve(context.Background(), mustSpiderRequest(t, sp, OpMinMakespan, n, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -610,7 +611,7 @@ func TestMemoExactRepeat(t *testing.T) {
 	}
 
 	// min_makespan ignores the deadline, so the memo key must too.
-	junk, err := svc.Solve(mustSpiderRequest(t, sp, OpMinMakespan, n, 999))
+	junk, err := svc.Solve(context.Background(), mustSpiderRequest(t, sp, OpMinMakespan, n, 999))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -622,7 +623,7 @@ func TestMemoExactRepeat(t *testing.T) {
 	// return the full schedule.
 	withSched := mustSpiderRequest(t, sp, OpMinMakespan, n, 0)
 	withSched.IncludeSchedule = true
-	full, err := svc.Solve(withSched)
+	full, err := svc.Solve(context.Background(), withSched)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -635,14 +636,14 @@ func TestMemoExactRepeat(t *testing.T) {
 
 	// Deadline-bearing ops memo per deadline.
 	before := svc.Stats().MemoHits
-	if _, err := svc.Solve(mustSpiderRequest(t, sp, OpMaxTasks, n, 40)); err != nil {
+	if _, err := svc.Solve(context.Background(), mustSpiderRequest(t, sp, OpMaxTasks, n, 40)); err != nil {
 		t.Fatal(err)
 	}
-	hit, err := svc.Solve(mustSpiderRequest(t, sp, OpMaxTasks, n, 40))
+	hit, err := svc.Solve(context.Background(), mustSpiderRequest(t, sp, OpMaxTasks, n, 40))
 	if err != nil {
 		t.Fatal(err)
 	}
-	miss, err := svc.Solve(mustSpiderRequest(t, sp, OpMaxTasks, n, 41))
+	miss, err := svc.Solve(context.Background(), mustSpiderRequest(t, sp, OpMaxTasks, n, 41))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/platform"
@@ -65,14 +66,14 @@ func TestTreeWarmRepeatMatchesDirect(t *testing.T) {
 
 	req := mustTreeRequest(t, tr, OpMinMakespan, n, 0)
 	req.IncludeSchedule = true
-	cold, err := svc.Solve(req)
+	cold, err := svc.Solve(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cold.Meta.Cache != "miss" {
 		t.Errorf("cold query cache = %q, want miss", cold.Meta.Cache)
 	}
-	warm, err := svc.Solve(req)
+	warm, err := svc.Solve(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,10 +104,10 @@ func TestTreeWarmRepeatMatchesDirect(t *testing.T) {
 
 	// Exact scalar repeats memo-hit without re-running the solver.
 	scalar := mustTreeRequest(t, tr, OpMinMakespan, n, 0)
-	if _, err := svc.Solve(scalar); err != nil {
+	if _, err := svc.Solve(context.Background(), scalar); err != nil {
 		t.Fatal(err)
 	}
-	memoed, err := svc.Solve(scalar)
+	memoed, err := svc.Solve(context.Background(), scalar)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,13 +134,13 @@ func TestIsomorphicTreesShareEntry(t *testing.T) {
 	n := 17
 	svc := New(Config{})
 
-	if _, err := svc.Solve(mustTreeRequest(t, tr, OpMinMakespan, n, 0)); err != nil {
+	if _, err := svc.Solve(context.Background(), mustTreeRequest(t, tr, OpMinMakespan, n, 0)); err != nil {
 		t.Fatal(err)
 	}
 
 	preq := mustTreeRequest(t, perm, OpMinMakespan, n, 0)
 	preq.IncludeSchedule = true
-	resp, err := svc.Solve(preq)
+	resp, err := svc.Solve(context.Background(), preq)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,10 +191,10 @@ func TestTreeSpiderShapedGetsOwnSolverKind(t *testing.T) {
 	svc := New(Config{})
 	n := 9
 
-	if _, err := svc.Solve(mustSpiderRequest(t, sp, OpMinMakespan, n, 0)); err != nil {
+	if _, err := svc.Solve(context.Background(), mustSpiderRequest(t, sp, OpMinMakespan, n, 0)); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := svc.Solve(mustTreeRequest(t, tr, OpMinMakespan, n, 0))
+	resp, err := svc.Solve(context.Background(), mustTreeRequest(t, tr, OpMinMakespan, n, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestTreeSpiderShapedGetsOwnSolverKind(t *testing.T) {
 	}
 	// Both must agree on the answer: the cover of a spider-shaped tree
 	// is the spider itself, so the heuristic is exact here.
-	spResp, err := svc.Solve(mustSpiderRequest(t, sp, OpMinMakespan, n, 0))
+	spResp, err := svc.Solve(context.Background(), mustSpiderRequest(t, sp, OpMinMakespan, n, 0))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -140,6 +140,14 @@ type Solver struct {
 	// disabled-hooks test asserts the warm probe's allocation count is
 	// unchanged.
 	trace *obs.SolveTrace
+	// cancel, when non-nil, is the cooperative cancellation checkpoint
+	// the solve loops poll: once per deadline probe (fits), at stride
+	// inside the merge and drain loops, and — via propagation to the
+	// distinct leg plans and the persistent packer — inside the backward
+	// growth and rewind scans. Nil (the default) keeps every hot loop at
+	// one pointer compare, the same floor as the trace hooks.
+	cancel *obs.CancelCheck
+
 	// buildNs is buildPlans' wall time (leg-key dedup + plan set-up),
 	// measured unconditionally because it happens before a trace can be
 	// attached; SetTrace flushes it once per build.
@@ -203,6 +211,46 @@ func (s *Solver) SetTrace(t *obs.SolveTrace) {
 	if t != nil && !s.buildFlushed {
 		s.buildFlushed = true
 		t.Observe(obs.PhaseDedup, s.buildNs)
+	}
+}
+
+// SetCancel attaches (or, with nil, detaches) the cancellation
+// checkpoint the solve loops poll, propagating it to every distinct
+// leg plan and to the persistent packer. With a checkpoint attached, a
+// dead context unwinds the solve: MinMakespan, MaxTasks and
+// ScheduleWithin return the context's error, and the probe-persistent
+// state plus the prepared-growth marks are abandoned (the leg plans
+// keep their — still valid — partial growth, so the next solve
+// re-probes warm). Attach between queries only; the checkpoint itself
+// is safe for the parallel growth workers.
+func (s *Solver) SetCancel(c *obs.CancelCheck) {
+	s.cancel = c
+	for _, lp := range s.plans {
+		lp.inc.SetCancel(c)
+	}
+	if s.pp != nil {
+		s.pp.SetCancel(c)
+	}
+}
+
+// solveBoundary is the deferred recovery point of the public solve
+// methods: it converts a cancellation checkpoint unwind into the
+// context error it carries (re-panicking anything else) and, whenever
+// a solve ends in an error with a dead context, abandons the
+// probe-persistent state — a probe stopped mid-stream leaves the
+// decision log, merge cursors and consumed counts out of step with
+// one another, and the growth marks may promise growth that never ran.
+func (s *Solver) solveBoundary(err *error) {
+	if r := recover(); r != nil {
+		ce, ok := obs.Canceled(r)
+		if !ok {
+			panic(r)
+		}
+		*err = ce
+	}
+	if *err != nil && s.cancel.Err() != nil {
+		s.pp, s.lt = nil, nil
+		s.prepN, s.prepDeadline = 0, 0
 	}
 }
 
@@ -281,6 +329,7 @@ func (s *Solver) SetLegDedup(on bool) {
 	s.pp, s.lt = nil, nil
 	s.scratch = nil
 	s.SetTrace(s.trace)
+	s.SetCancel(s.cancel)
 }
 
 // DistinctLegPlans returns how many backward constructions the solver
@@ -296,9 +345,9 @@ func (s *Solver) Spider() platform.Spider { return s.sp }
 // goroutines. Each goroutine mutates only plans it exclusively drew, so
 // the merge is deterministic by construction: subsequent reads walk the
 // legs in index order over fully grown, immutable-from-here plans.
-func (s *Solver) prepare(n int, deadline platform.Time) {
+func (s *Solver) prepare(n int, deadline platform.Time) error {
 	if n <= s.prepN && deadline <= s.prepDeadline {
-		return
+		return nil
 	}
 	// Grow to the recorded envelope, not just this call's pair: the
 	// marks promise that any dominated query needs no growth, so the
@@ -312,12 +361,14 @@ func (s *Solver) prepare(n int, deadline platform.Time) {
 	// worker owns the plans it draws, and no plan appears twice.
 	if len(s.plans) < 2 || n < 2 {
 		for _, lp := range s.plans {
-			lp.fit(n, deadline)
+			lp.fit(n, deadline) // a cancel unwind is caught at the method boundary
 		}
-		return
+		return nil
 	}
 	workers := min(len(s.plans), runtime.GOMAXPROCS(0))
 	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
 	next := make(chan *legPlan, len(s.plans))
 	for _, lp := range s.plans {
 		next <- lp
@@ -328,11 +379,44 @@ func (s *Solver) prepare(n int, deadline platform.Time) {
 		go func() {
 			defer wg.Done()
 			for lp := range next {
-				lp.fit(n, deadline)
+				// A cancellation unwind must not escape the goroutine
+				// (that would kill the process); convert it here and let
+				// the remaining workers drain their queues — their own
+				// strided checks trip within a stride anyway.
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop {
+					continue
+				}
+				if err := growPlan(lp, n, deadline); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	return firstErr
+}
+
+// growPlan grows one plan inside a prepare worker, converting a
+// cancellation unwind into an ordinary error.
+func growPlan(lp *legPlan, n int, deadline platform.Time) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ce, ok := obs.Canceled(r)
+			if !ok {
+				panic(r)
+			}
+			err = ce
+		}
+	}()
+	lp.fit(n, deadline)
+	return nil
 }
 
 // legCursor walks one leg's candidate run during the admission-order
@@ -424,6 +508,7 @@ func (s *Solver) merge(ks []int, emit func(platform.VirtualSlave) bool) {
 		siftDown(h, i)
 	}
 	for len(h) > 0 {
+		s.cancel.Checkpoint()
 		if !emit(h[0].cur) {
 			return
 		}
@@ -485,6 +570,7 @@ func (s *Solver) scratchStreamProbe(n int, deadline platform.Time, ks []int) (*f
 func (s *Solver) persistentProbe(n int, deadline platform.Time, ks []int) error {
 	if s.pp == nil {
 		s.pp = fork.NewProbePacker()
+		s.pp.SetCancel(s.cancel)
 		s.lt = newLoserTree(s.legs)
 		s.kprev = make([]int, len(s.legs))
 		s.consumed = make([]int, len(s.legs))
@@ -546,6 +632,7 @@ func (s *Solver) persistentProbe(n int, deadline platform.Time, ks []int) error 
 			siftDown(grown, i)
 		}
 		for !s.pp.Full() {
+			s.cancel.Checkpoint()
 			tv, tok := s.pp.TailPeek()
 			if !tok && s.pp.TailWasFull() {
 				// The tail is spent but the recorded run had stopped on a
@@ -602,6 +689,7 @@ func (s *Solver) persistentProbe(n int, deadline platform.Time, ks []int) error 
 // until the budget fills or the cursors exhaust.
 func (s *Solver) drainMerge() {
 	for !s.pp.Full() {
+		s.cancel.Checkpoint()
 		v, ok := s.lt.next()
 		if !ok {
 			return
@@ -697,14 +785,17 @@ func (s *Solver) probeAlloc(n int, deadline platform.Time, ks []int) (*fork.Allo
 
 // MaxTasks returns how many of at most n tasks complete within the
 // deadline.
-func (s *Solver) MaxTasks(n int, deadline platform.Time) (int, error) {
+func (s *Solver) MaxTasks(n int, deadline platform.Time) (k int, err error) {
+	defer s.solveBoundary(&err)
 	if n < 0 {
 		return 0, fmt.Errorf("spider: negative task count %d", n)
 	}
 	if deadline < 0 {
 		return 0, fmt.Errorf("spider: negative deadline %d", deadline)
 	}
-	s.prepare(n, deadline)
+	if err := s.prepare(n, deadline); err != nil {
+		return 0, err
+	}
 	ks, _ := s.legCounts(n, deadline)
 	return s.probeCount(n, deadline, ks)
 }
@@ -715,6 +806,12 @@ func (s *Solver) MaxTasks(n int, deadline platform.Time) (int, error) {
 // the merge and packing are skipped outright; otherwise the counts
 // already computed feed the packing directly instead of being rescanned.
 func (s *Solver) fits(n int, deadline platform.Time) (bool, error) {
+	// One immediate (unstrided) poll per deadline probe: the coarse
+	// checkpoint that bounds how many probes a dead request still pays
+	// for, independent of the strided hot-loop checks below it.
+	if err := s.cancel.Err(); err != nil {
+		return false, err
+	}
 	s.stats.Probes++
 	ks, total := s.legCounts(n, deadline)
 	if total < n {
@@ -727,14 +824,17 @@ func (s *Solver) fits(n int, deadline platform.Time) (bool, error) {
 
 // ScheduleWithin schedules as many tasks as possible — at most n — on
 // the spider completing within [0, deadline] (Theorem 3).
-func (s *Solver) ScheduleWithin(n int, deadline platform.Time) (*sched.SpiderSchedule, error) {
+func (s *Solver) ScheduleWithin(n int, deadline platform.Time) (out *sched.SpiderSchedule, err error) {
+	defer s.solveBoundary(&err)
 	if n < 0 {
 		return nil, fmt.Errorf("spider: negative task count %d", n)
 	}
 	if deadline < 0 {
 		return nil, fmt.Errorf("spider: negative deadline %d", deadline)
 	}
-	s.prepare(n, deadline)
+	if err := s.prepare(n, deadline); err != nil {
+		return nil, err
+	}
 	ks, _ := s.legCounts(n, deadline)
 	alloc, err := s.probeAlloc(n, deadline, ks)
 	if err != nil {
@@ -750,7 +850,7 @@ func (s *Solver) ScheduleWithin(n int, deadline platform.Time) (*sched.SpiderSch
 		t0 = time.Now()
 		defer s.trace.ObserveSince(obs.PhaseExtract, t0)
 	}
-	out := &sched.SpiderSchedule{Spider: s.sp}
+	out = &sched.SpiderSchedule{Spider: s.sp}
 	for _, c := range alloc.Slaves {
 		t := s.legs[c.Leg].task(ks[c.Leg], c.Rank, deadline)
 		if c.EmitStart > t.Comms[0] {
@@ -779,7 +879,8 @@ func (s *Solver) ScheduleWithin(n int, deadline platform.Time) (*sched.SpiderSch
 // everything) with a feasible deadline only a port-contention gap away.
 // Every bound is proven, so the converged optimum — and hence the
 // schedule — is unchanged, which the equivalence tests assert.
-func (s *Solver) MinMakespan(n int) (platform.Time, *sched.SpiderSchedule, error) {
+func (s *Solver) MinMakespan(n int) (mk platform.Time, sol *sched.SpiderSchedule, err error) {
+	defer s.solveBoundary(&err)
 	if n <= 0 {
 		return 0, nil, fmt.Errorf("spider: task count %d is not positive", n)
 	}
@@ -789,7 +890,9 @@ func (s *Solver) MinMakespan(n int) (platform.Time, *sched.SpiderSchedule, error
 		lo = lb
 	}
 	if s.seed2off || lo >= hi {
-		s.prepare(n, hi)
+		if err := s.prepare(n, hi); err != nil {
+			return 0, nil, err
+		}
 	} else {
 		// Seeded: grow the leg plans only as far as the search actually
 		// climbs, instead of to the master-only horizon. Every probe
@@ -797,18 +900,26 @@ func (s *Solver) MinMakespan(n int) (platform.Time, *sched.SpiderSchedule, error
 		// happens — but it stops a port-contention gap above the
 		// optimum, which on wide platforms is a fraction of the
 		// master-only cover that the PR 2 search constructed upfront.
-		s.prepare(n, lo)
+		if err := s.prepare(n, lo); err != nil {
+			return 0, nil, err
+		}
 		// Sum-of-fits tightening: fit counts are monotone in the
 		// deadline and fewer than n total fits cannot pack n. Gallop
 		// up from the steady-state bound, then bisect the last step —
 		// never evaluating (or growing toward) master-only deadlines.
-		count := func(d platform.Time) int {
-			s.prepare(n, d)
+		count := func(d platform.Time) (int, error) {
+			if err := s.prepare(n, d); err != nil {
+				return 0, err
+			}
 			s.stats.CountChecks++
 			_, total := s.legCounts(n, d)
-			return total
+			return total, nil
 		}
-		if count(lo) < n {
+		c, err := count(lo)
+		if err != nil {
+			return 0, nil, err
+		}
+		if c < n {
 			d, step := lo, platform.Time(1)
 			sfLo := lo + 1
 			for {
@@ -816,14 +927,23 @@ func (s *Solver) MinMakespan(n int) (platform.Time, *sched.SpiderSchedule, error
 				if step *= 2; step <= 0 {
 					step = hi
 				}
-				if d == hi || count(d) >= n {
+				if d == hi {
+					break
+				}
+				if c, err = count(d); err != nil {
+					return 0, nil, err
+				}
+				if c >= n {
 					break
 				}
 				sfLo = d + 1
 			}
 			for sfLo < d {
 				mid := sfLo + (d-sfLo)/2
-				if count(mid) >= n {
+				if c, err = count(mid); err != nil {
+					return 0, nil, err
+				}
+				if c >= n {
 					d = mid
 				} else {
 					sfLo = mid + 1
@@ -836,7 +956,9 @@ func (s *Solver) MinMakespan(n int) (platform.Time, *sched.SpiderSchedule, error
 		// outright (a feasible lower bound is the optimum).
 		d, step := lo, platform.Time(1)
 		for lo < hi {
-			s.prepare(n, d)
+			if err := s.prepare(n, d); err != nil {
+				return 0, nil, err
+			}
 			ok, err := s.fits(n, d)
 			if err != nil {
 				return 0, nil, err
@@ -847,7 +969,9 @@ func (s *Solver) MinMakespan(n int) (platform.Time, *sched.SpiderSchedule, error
 			}
 			lo = d + 1
 			if step >= hi-d {
-				s.prepare(n, hi)
+				if err := s.prepare(n, hi); err != nil {
+					return 0, nil, err
+				}
 				break
 			}
 			d += step

@@ -67,6 +67,13 @@ func (s *Solver) SetTrace(t *obs.SolveTrace) {
 	}
 }
 
+// SetCancel attaches (or, with nil, detaches) the cooperative
+// cancellation checkpoint, propagating to the inner spider solver whose
+// loops poll it. The inner solver recovers the checkpoint's unwind at
+// its own public boundaries, so this solver's methods see it as an
+// ordinary error. Safe to call between queries only.
+func (s *Solver) SetCancel(c *obs.CancelCheck) { s.inner.SetCancel(c) }
+
 // Tree returns the platform the solver schedules on.
 func (s *Solver) Tree() platform.Tree { return s.t }
 
