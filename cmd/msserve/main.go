@@ -8,6 +8,7 @@
 //
 //	msserve [-addr :8080] [-cache 64] [-workers 0] [-max-n 1048576]
 //	        [-solve-timeout 0] [-queue 0] [-shed-budget 0]
+//	        [-warm-slots 0] [-degraded-default]
 //	        [-max-body 16777216] [-drain-timeout 5s] [-lame-duck 0]
 //	        [-faults FILE] [-slow-query 0] [-pprof]
 //
@@ -34,8 +35,17 @@
 //     solver's cancellation checkpoints stop the work when it passes
 //     (a request's own timeout_ms can only tighten it).
 //   - -queue bounds the admission wait queue (default 16×workers);
-//     -shed-budget additionally sheds once the predicted backlog
-//     exceeds it. Shed requests get 429 with Retry-After.
+//     -shed-budget additionally sheds cold (construction) work once the
+//     predicted backlog exceeds it — an explicit -shed-budget=0 sheds
+//     every cold query the pool cannot start immediately. Shed
+//     min-makespan/max-tasks queries answer a degraded 200 carrying the
+//     O(legs) lower/upper bound (unless the request sets
+//     allow_degraded:false, which restores the 429 with Retry-After).
+//   - -warm-slots reserves workers for queries whose solver is already
+//     cached, so cold-construction storms cannot starve warm repeats.
+//   - -degraded-default makes timed-out and cancelled queries answer
+//     degraded bounds/brackets by default instead of 504/499; requests
+//     override either way with allow_degraded.
 //   - -max-body rejects oversized /solve bodies with 413.
 //   - -drain-timeout is the graceful-shutdown window: at the deadline
 //     still-in-flight solve contexts are cancelled so a stuck solve
@@ -95,7 +105,9 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		maxN         = fs.Int("max-n", 1<<20, "per-query task count limit")
 		solveTimeout = fs.Duration("solve-timeout", 0, "per-solve wall-time bound (0 = none)")
 		queueMax     = fs.Int("queue", 0, "admission wait-queue bound (0 = 16×workers)")
-		shedBudget   = fs.Duration("shed-budget", 0, "shed once predicted backlog exceeds this (0 = queue bound only)")
+		shedBudget   = fs.Duration("shed-budget", 0, "shed cold work once predicted backlog exceeds this (explicit 0 = shed whenever the pool is busy; omitted = queue bound only)")
+		warmSlots    = fs.Int("warm-slots", 0, "worker slots reserved for warm (cached-solver) queries (0 = workers/4)")
+		degradedDflt = fs.Bool("degraded-default", false, "answer timed-out/cancelled queries with degraded bounds unless the request opts out")
 		maxBody      = fs.Int64("max-body", 16<<20, "max /solve request body bytes (413 beyond)")
 		drainTimeout = fs.Duration("drain-timeout", 5*time.Second, "graceful shutdown window; in-flight solves are cancelled at the deadline")
 		lameDuck     = fs.Duration("lame-duck", 0, "keep serving this long after SIGTERM (readiness already 503) before draining")
@@ -109,6 +121,16 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments %v", fs.Args())
 	}
+	// An explicit -shed-budget=0 means "no budget at all": shed every
+	// cold query that cannot start immediately. The Config encodes
+	// budget-disabled as zero, so the drill-friendly meaning maps to the
+	// smallest positive budget — one predicted nanosecond of backlog
+	// trips it.
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "shed-budget" && *shedBudget == 0 {
+			*shedBudget = time.Nanosecond
+		}
+	})
 
 	var faults *faultinject.Injector
 	if *faultsFile != "" {
@@ -132,11 +154,13 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		SlowQuery:    *slowQuery,
 		SlowLog:      os.Stderr,
 		Pprof:        *pprofOn,
-		SolveTimeout: *solveTimeout,
-		QueueMax:     *queueMax,
-		ShedBudget:   *shedBudget,
-		MaxBody:      *maxBody,
-		Faults:       faults,
+		SolveTimeout:    *solveTimeout,
+		QueueMax:        *queueMax,
+		ShedBudget:      *shedBudget,
+		WarmSlots:       *warmSlots,
+		DegradedDefault: *degradedDflt,
+		MaxBody:         *maxBody,
+		Faults:          faults,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

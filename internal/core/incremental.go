@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -222,7 +224,15 @@ func recoverCancel(err *error) {
 
 // Schedule materialises the makespan-optimal schedule of exactly n
 // tasks, shifted to start at time 0. It matches core.Schedule.
+//
+// A cancelled growth does not leave empty-handed: the placements built
+// before the context died are a valid optimal prefix, and the optimal
+// makespan is non-decreasing in the task count, so the prefix's own
+// makespan is a proven lower bound on the answer. The cancellation
+// error is wrapped in a *PartialError carrying it (Feasible false — no
+// n-task schedule exists yet, so there is no upper bound to report).
 func (inc *Incremental) Schedule(n int) (s *sched.ChainSchedule, err error) {
+	defer inc.partialBoundary(&err)
 	defer recoverCancel(&err)
 	if n < 0 {
 		return nil, fmt.Errorf("core: negative task count %d", n)
@@ -233,6 +243,35 @@ func (inc *Incremental) Schedule(n int) (s *sched.ChainSchedule, err error) {
 		shift = -inc.backward[n-1].Comms[0]
 	}
 	return inc.materialise(n, shift), nil
+}
+
+// partialBoundary wraps a cancellation error with the best-so-far lower
+// bound: the makespan of the optimal prefix already constructed. It
+// must run after recoverCancel (register it first) so the unwind has
+// been converted to an error; anything that is not a cancellation — or
+// an empty cache with nothing to report — passes through untouched.
+func (inc *Incremental) partialBoundary(err *error) {
+	if *err == nil ||
+		!(errors.Is(*err, context.Canceled) || errors.Is(*err, context.DeadlineExceeded)) {
+		return
+	}
+	k := len(inc.backward)
+	if k == 0 {
+		return
+	}
+	// The k-prefix is exactly core.Schedule(ch, k): its makespan is the
+	// latest completion minus the earliest emission (backward placements
+	// strictly decrease in first emission, so entry k−1 starts it).
+	var maxEnd platform.Time
+	for i := 0; i < k; i++ {
+		if end := inc.backward[i].End(inc.ch); i == 0 || end > maxEnd {
+			maxEnd = end
+		}
+	}
+	*err = &PartialError{
+		Partial: Partial{Lo: maxEnd - inc.backward[k-1].Comms[0]},
+		Err:     *err,
+	}
 }
 
 // materialise reverses the first k backward placements into emission

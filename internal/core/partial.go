@@ -1,0 +1,41 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+)
+
+// Partial is the best-so-far bracket a cancelled solve carries out of
+// its unwind: the makespan search interval [Lo, Hi] that was proven
+// before the context died. Lo is always a valid lower bound on the
+// exact answer. Hi is meaningful only when Feasible is set: it is the
+// makespan of a schedule some probe actually verified, so the exact
+// answer lies in [Lo, Hi]. With Feasible false no probe had succeeded
+// yet and only the lower bound may be reported — never a fabricated
+// upper bound or schedule.
+type Partial struct {
+	Lo       platform.Time
+	Hi       platform.Time
+	Feasible bool
+}
+
+// PartialError decorates a cancellation error (context.DeadlineExceeded
+// or context.Canceled) with the bracket the solver had established when
+// it stopped. It wraps the underlying context error, so the existing
+// errors.Is classification — the service's timeout/cancellation
+// taxonomy, the HTTP status mapping — is unchanged; callers that want
+// the bracket recover it with errors.As.
+type PartialError struct {
+	Partial Partial
+	Err     error
+}
+
+func (e *PartialError) Error() string {
+	if e.Partial.Feasible {
+		return fmt.Sprintf("%v (best-so-far bracket [%d, %d])", e.Err, e.Partial.Lo, e.Partial.Hi)
+	}
+	return fmt.Sprintf("%v (best-so-far lower bound %d)", e.Err, e.Partial.Lo)
+}
+
+func (e *PartialError) Unwrap() error { return e.Err }

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/platform"
+)
+
+// TestSchedulePartialLowerBound cancels an incremental Schedule after a
+// known prefix is cached and checks the unwind carries the prefix's
+// makespan as a proven lower bound: Partial.Lo ≤ the uncancelled
+// answer, Feasible false (no n-task schedule exists mid-growth), and
+// the wrapped error still classifies as the context error.
+func TestSchedulePartialLowerBound(t *testing.T) {
+	ch := platform.NewChain(2, 5, 3, 3, 1, 4)
+	// The checkpoint is strided (one poll per 64 Checkpoint calls), so
+	// the growth from every tested prefix to n must span at least one
+	// stride for the cancellation to trip at all.
+	const n = 300
+	exactInc, err := NewIncremental(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactSch, err := exactInc.Schedule(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := exactSch.Makespan()
+
+	for grown := 1; grown+64 <= n; grown += 64 {
+		inc, err := NewIncremental(ch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc.Grow(grown)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		inc.SetCancel(obs.NewCancelCheck(ctx, nil))
+		sch, err := inc.Schedule(n)
+		if sch != nil || err == nil {
+			t.Fatalf("grown=%d: cancelled Schedule returned (%v, %v)", grown, sch, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("grown=%d: err = %v, want context.Canceled", grown, err)
+		}
+		var pe *PartialError
+		if !errors.As(err, &pe) {
+			t.Fatalf("grown=%d: cancellation carries no *PartialError: %v", grown, err)
+		}
+		if pe.Partial.Feasible {
+			t.Errorf("grown=%d: partial claims feasibility without an n-task schedule", grown)
+		}
+		if pe.Partial.Lo <= 0 || pe.Partial.Lo > exact {
+			t.Errorf("grown=%d: partial lower bound %d outside (0, %d]", grown, pe.Partial.Lo, exact)
+		}
+	}
+
+}

@@ -12,6 +12,7 @@
 package faultinject
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -87,19 +88,56 @@ func New(rules ...Rule) *Injector {
 // Parse decodes a JSON rule list (the msserve -faults file format):
 //
 //	[{"site":"construct","delay_ms":5000,"times":1}, ...]
+//
+// Parsing is strict: unknown rule fields, unknown sites, rules with no
+// action (nothing to inject) and negative numeric fields are all
+// rejected at parse time with a "rule N:" positional error. A chaos
+// drill armed from a typo'd rule file would otherwise run green while
+// injecting nothing — the worst possible failure mode for a harness
+// whose job is to prove failures are handled.
 func Parse(data []byte) (*Injector, error) {
-	var rules []Rule
-	if err := json.Unmarshal(data, &rules); err != nil {
+	var raws []json.RawMessage
+	if err := json.Unmarshal(data, &raws); err != nil {
 		return nil, fmt.Errorf("faultinject: parsing rules: %w", err)
 	}
-	for i, r := range rules {
-		switch r.Site {
-		case SiteConstruct, SiteSolve, SiteHandler:
-		default:
-			return nil, fmt.Errorf("faultinject: rule %d: unknown site %q", i, r.Site)
+	rules := make([]Rule, len(raws))
+	for i, raw := range raws {
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&rules[i]); err != nil {
+			return nil, fmt.Errorf("faultinject: rule %d: %w", i, err)
+		}
+		if err := rules[i].validate(); err != nil {
+			return nil, fmt.Errorf("faultinject: rule %d: %w", i, err)
 		}
 	}
 	return New(rules...), nil
+}
+
+// validate rejects rules Parse must not arm; see Parse.
+func (r Rule) validate() error {
+	switch r.Site {
+	case SiteConstruct, SiteSolve, SiteHandler:
+	default:
+		return fmt.Errorf("unknown site %q (want %s, %s or %s)",
+			r.Site, SiteConstruct, SiteSolve, SiteHandler)
+	}
+	if r.DelayMs < 0 {
+		return fmt.Errorf("negative delay_ms %d", r.DelayMs)
+	}
+	if r.Skip < 0 {
+		return fmt.Errorf("negative skip %d", r.Skip)
+	}
+	if r.Times < 0 {
+		return fmt.Errorf("negative times %d", r.Times)
+	}
+	if r.Status < 0 || (r.Status > 0 && (r.Status < 100 || r.Status > 599)) {
+		return fmt.Errorf("status %d outside 100..599", r.Status)
+	}
+	if r.DelayMs == 0 && r.Panic == "" && r.Err == "" && r.Status == 0 {
+		return fmt.Errorf("no action: set delay_ms, panic, err or status")
+	}
+	return nil
 }
 
 // Hits returns how many times the site has been hit (whether or not a

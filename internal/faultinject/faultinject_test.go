@@ -88,3 +88,39 @@ func TestParse(t *testing.T) {
 		t.Fatal("malformed JSON parsed")
 	}
 }
+
+// TestParseStrict pins the harness's refuse-to-half-arm contract: a
+// typo'd rule file must fail at parse time with an error naming the
+// offending rule, never load as an injector that silently injects
+// nothing.
+func TestParseStrict(t *testing.T) {
+	bad := []struct {
+		name, rules, wantSub string
+	}{
+		{"unknown field", `[{"site":"construct","delay":10}]`, `rule 0:`},
+		{"unknown field positional", `[{"site":"construct","delay_ms":10},{"site":"solve","banana":1}]`, `rule 1:`},
+		{"no action", `[{"site":"construct"}]`, "no action"},
+		{"skip and times alone are no action", `[{"site":"construct","skip":1,"times":2}]`, "no action"},
+		{"negative delay", `[{"site":"construct","delay_ms":-5}]`, "negative delay_ms"},
+		{"negative skip", `[{"site":"construct","delay_ms":5,"skip":-1}]`, "negative skip"},
+		{"negative times", `[{"site":"construct","delay_ms":5,"times":-2}]`, "negative times"},
+		{"status below range", `[{"site":"handler","status":42}]`, "status 42 outside"},
+		{"status above range", `[{"site":"handler","status":700}]`, "status 700 outside"},
+		{"unknown site positional", `[{"site":"construct","delay_ms":1},{"site":"destruct","delay_ms":1}]`, `rule 1: unknown site "destruct"`},
+	}
+	for _, c := range bad {
+		in, err := Parse([]byte(c.rules))
+		if err == nil {
+			t.Errorf("%s: parsed into %+v, want error", c.name, in)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+		}
+	}
+
+	// The CI chaos drill's own rule file shape must keep parsing.
+	if _, err := Parse([]byte(`[{"site":"construct","delay_ms":5000}]`)); err != nil {
+		t.Errorf("drill rule file rejected: %v", err)
+	}
+}

@@ -143,6 +143,15 @@ func (pp *ProbePacker) Rewind(n int, deadline platform.Time, change *platform.Vi
 	if n < 0 {
 		return false, 0, fmt.Errorf("fork: negative task count %d", n)
 	}
+	// Fail fast on a dead context before touching any recorded state:
+	// the scan below mutates the tail and roll-back bookkeeping as it
+	// goes, so stopping here (rather than at a mid-scan checkpoint)
+	// leaves the log exactly as the last completed probe recorded it —
+	// which is what lets the cancelled search hand a consistent
+	// best-so-far bracket to its boundary.
+	if err := pp.cancel.Err(); err != nil {
+		return false, 0, err
+	}
 	for i := range consumed {
 		consumed[i] = 0
 	}

@@ -1,0 +1,132 @@
+// Bounds property tests live in an external test package: the exact
+// answers come from the solver packages (core, spider, tree), which
+// import platform — an in-package test would be an import cycle.
+package platform_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/spider"
+	"repro/internal/tree"
+)
+
+// TestBoundsBracketExact is the degraded-answer soundness property over
+// random platforms of all four kinds: the O(legs) LowerBound never
+// exceeds the solver's makespan, and the solver's within-deadline task
+// count never exceeds TasksUpperBound — lo ≤ exact ≤ hi for the pair a
+// shed query reports. For trees "exact" is the §8 cover heuristic's
+// answer, which upper-bounds the tree optimum: LowerBound ≤ optimal ≤
+// heuristic keeps the lower check sound, and TasksUpperBound bounds the
+// task count of ANY feasible schedule, the heuristic's included.
+func TestBoundsBracketExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		g := platform.MustGenerator(rng.Int63(), 1, 9, platform.Heterogeneity(rng.Intn(4)))
+		n := 1 + rng.Intn(50)
+		var (
+			kind     string
+			lb       platform.Time
+			ubTasks  func(deadline platform.Time) (int, error)
+			makespan platform.Time
+			fitCount func(deadline platform.Time) (int, error)
+			err      error
+		)
+		switch trial % 4 {
+		case 0:
+			kind = "chain"
+			ch := g.Chain(1 + rng.Intn(6))
+			if lb, err = ch.LowerBound(n); err != nil {
+				t.Fatalf("trial %d (%s): %v", trial, kind, err)
+			}
+			ubTasks = func(d platform.Time) (int, error) { return ch.TasksUpperBound(n, d) }
+			inc, ierr := core.NewIncremental(ch)
+			if ierr != nil {
+				t.Fatalf("trial %d (%s): %v", trial, kind, ierr)
+			}
+			sch, serr := inc.Schedule(n)
+			if serr != nil {
+				t.Fatalf("trial %d (%s): %v", trial, kind, serr)
+			}
+			makespan = sch.Makespan()
+			fitCount = func(d platform.Time) (int, error) { return inc.FitWithin(n, d), nil }
+		case 1:
+			kind = "spider"
+			sp := g.Spider(1+rng.Intn(5), 1+rng.Intn(4))
+			if lb, err = sp.LowerBound(n); err != nil {
+				t.Fatalf("trial %d (%s): %v", trial, kind, err)
+			}
+			ubTasks = func(d platform.Time) (int, error) { return sp.TasksUpperBound(n, d) }
+			s, serr := spider.NewSolver(sp)
+			if serr != nil {
+				t.Fatalf("trial %d (%s): %v", trial, kind, serr)
+			}
+			if makespan, _, err = s.MinMakespan(n); err != nil {
+				t.Fatalf("trial %d (%s): %v", trial, kind, err)
+			}
+			fitCount = func(d platform.Time) (int, error) { return s.MaxTasks(n, d) }
+		case 2:
+			kind = "fork"
+			f := g.Fork(1 + rng.Intn(6))
+			if lb, err = f.LowerBound(n); err != nil {
+				t.Fatalf("trial %d (%s): %v", trial, kind, err)
+			}
+			ubTasks = func(d platform.Time) (int, error) { return f.TasksUpperBound(n, d) }
+			s, serr := spider.NewSolver(f.Spider())
+			if serr != nil {
+				t.Fatalf("trial %d (%s): %v", trial, kind, serr)
+			}
+			if makespan, _, err = s.MinMakespan(n); err != nil {
+				t.Fatalf("trial %d (%s): %v", trial, kind, err)
+			}
+			fitCount = func(d platform.Time) (int, error) { return s.MaxTasks(n, d) }
+		case 3:
+			kind = "tree"
+			tr := g.Tree(1+rng.Intn(3), 1+rng.Intn(3))
+			if lb, err = tr.LowerBound(n); err != nil {
+				t.Fatalf("trial %d (%s): %v", trial, kind, err)
+			}
+			ubTasks = func(d platform.Time) (int, error) { return tr.TasksUpperBound(n, d) }
+			s, serr := tree.NewSolver(tr)
+			if serr != nil {
+				t.Fatalf("trial %d (%s): %v", trial, kind, serr)
+			}
+			if makespan, _, err = s.MinMakespan(n); err != nil {
+				t.Fatalf("trial %d (%s): %v", trial, kind, err)
+			}
+			fitCount = func(d platform.Time) (int, error) { return s.MaxTasks(n, d) }
+		}
+
+		if lb > makespan {
+			t.Errorf("trial %d (%s, n=%d): LowerBound %d exceeds solved makespan %d",
+				trial, kind, n, lb, makespan)
+		}
+
+		// Upper bound: at a spread of deadlines (the solved makespan
+		// included), the solver never completes more tasks than the
+		// throughput cap admits.
+		for _, d := range []platform.Time{0, lb, makespan / 2, makespan, makespan + 10} {
+			if d < 0 {
+				continue
+			}
+			got, err := fitCount(d)
+			if err != nil {
+				t.Fatalf("trial %d (%s): counting at deadline %d: %v", trial, kind, d, err)
+			}
+			ub, err := ubTasks(d)
+			if err != nil {
+				t.Fatalf("trial %d (%s): TasksUpperBound(%d): %v", trial, kind, d, err)
+			}
+			if got > ub {
+				t.Errorf("trial %d (%s, n=%d): %d tasks fit within %d, above TasksUpperBound %d",
+					trial, kind, n, got, d, ub)
+			}
+			if ub > n {
+				t.Errorf("trial %d (%s): TasksUpperBound %d exceeds the requested n %d", trial, kind, ub, n)
+			}
+		}
+	}
+}

@@ -274,6 +274,90 @@ func (t Tree) LowerBound(n int) (Time, error) {
 	return lb, nil
 }
 
+// floorRatMul returns floor(t · rate), the steady-state cap on tasks
+// injectable within t time units.
+func floorRatMul(t Time, rate *big.Rat) int64 {
+	num := new(big.Int).Mul(big.NewInt(int64(t)), rate.Num())
+	quo := new(big.Int).Quo(num, rate.Denom())
+	if !quo.IsInt64() {
+		return int64(MaxTime)
+	}
+	return quo.Int64()
+}
+
+// tasksUpperBound is the shared body of the per-kind TasksUpperBound
+// methods: any schedule completing k ≥ 1 tasks within the deadline has
+// deadline ≥ LowerBound(k) ≥ ⌈k/X⌉ ≥ k/X, so k ≤ ⌊deadline·X⌋; and the
+// last task alone needs the fastest solo completion, so a deadline
+// below it completes nothing.
+func tasksUpperBound(n int, deadline Time, rate *big.Rat, solo Time) int {
+	if n <= 0 || deadline < solo {
+		return 0
+	}
+	k := floorRatMul(deadline, rate)
+	if k > int64(n) {
+		return n
+	}
+	return int(k)
+}
+
+// TasksUpperBound returns a proven upper bound on how many of at most n
+// tasks any schedule completes on the chain within the deadline — the
+// degraded max_tasks answer the service's admission shedder returns
+// without constructing a solver. It costs one Throughput evaluation
+// (O(len) exact rational arithmetic), never underestimates the exact
+// answer, and equals it in the steady-state limit.
+func (ch Chain) TasksUpperBound(n int, deadline Time) (int, error) {
+	if err := ch.Validate(); err != nil {
+		return 0, err
+	}
+	rate, err := ch.Throughput()
+	if err != nil {
+		return 0, err
+	}
+	_, solo := ch.BestSoloProc()
+	return tasksUpperBound(n, deadline, rate, solo), nil
+}
+
+// TasksUpperBound is Chain.TasksUpperBound for spiders.
+func (sp Spider) TasksUpperBound(n int, deadline Time) (int, error) {
+	if err := sp.Validate(); err != nil {
+		return 0, err
+	}
+	rate, err := sp.Throughput()
+	if err != nil {
+		return 0, err
+	}
+	solo := MaxTime
+	for _, leg := range sp.Legs {
+		if _, s := leg.BestSoloProc(); s < solo {
+			solo = s
+		}
+	}
+	return tasksUpperBound(n, deadline, rate, solo), nil
+}
+
+// TasksUpperBound is Chain.TasksUpperBound for forks (via the spider
+// form).
+func (f Fork) TasksUpperBound(n int, deadline Time) (int, error) {
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	return f.Spider().TasksUpperBound(n, deadline)
+}
+
+// TasksUpperBound is Chain.TasksUpperBound for trees.
+func (t Tree) TasksUpperBound(n int, deadline Time) (int, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	rate, err := t.Throughput()
+	if err != nil {
+		return 0, err
+	}
+	return tasksUpperBound(n, deadline, rate, t.bestSolo()), nil
+}
+
 // bestSolo returns the fastest single-task completion over all nodes.
 func (t Tree) bestSolo() Time {
 	best := MaxTime

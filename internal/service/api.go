@@ -67,8 +67,19 @@ type Request struct {
 	// TimeoutMs, when positive, bounds this query's solve wall time in
 	// milliseconds. The server's own solve timeout still applies; the
 	// tighter of the two wins. An exceeded deadline answers HTTP 504
-	// with the solver stopped at a cancellation checkpoint.
+	// with the solver stopped at a cancellation checkpoint — unless the
+	// request accepts a degraded answer (below).
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// AllowDegraded opts this query in (true) or out (false) of
+	// bounded-quality degraded answers: a shed, timeout or cancellation
+	// then yields HTTP 200 with Degraded set and the best bound the
+	// service can state without (or with partial) solving, instead of
+	// 429/504/499. Unset defers to the server default: sheds degrade
+	// (the O(legs) bound is free — cheaper than the error path),
+	// timeouts and cancellations do not (-degraded-default flips that).
+	// Schedule-bearing queries (schedule_within, include_schedule)
+	// never degrade — there is no partial schedule to return.
+	AllowDegraded *bool `json:"allow_degraded,omitempty"`
 }
 
 // Meta is the per-response cache/coalesce metadata.
@@ -130,8 +141,41 @@ type Response struct {
 	// Schedule is a tagged schedule envelope (sched.ReadSchedule
 	// decodes it) when IncludeSchedule was set.
 	Schedule json.RawMessage `json:"schedule,omitempty"`
-	Meta     Meta            `json:"meta"`
+	// Degraded marks a bounded-quality answer: the query was shed, timed
+	// out or was cancelled, and instead of an error the service returned
+	// the best bound it could state. Makespan/Tasks then carry a bound,
+	// not the exact answer; Bound says which side.
+	Degraded bool `json:"degraded,omitempty"`
+	// Bound qualifies a degraded answer: BoundLower (Makespan is a lower
+	// bound on the optimal makespan), BoundUpper (Tasks is an upper
+	// bound on the achievable count), or BoundBracket (Bracket holds a
+	// two-sided makespan bracket from an interrupted binary search).
+	Bound string `json:"bound,omitempty"`
+	// Bracket is [lo, hi] with lo ≤ exact ≤ hi, present only with
+	// Bound == BoundBracket: the interrupted search had already proved a
+	// feasible deadline hi. Makespan duplicates lo.
+	Bracket []platform.Time `json:"bracket,omitempty"`
+	// RetryAfterSeconds, on a degraded shed answer, is the admission
+	// controller's backoff hint — when to re-query for the exact answer.
+	// It replaces the 429's Retry-After header, which a 200 cannot
+	// carry without confusing intermediaries.
+	RetryAfterSeconds int64 `json:"retry_after_seconds,omitempty"`
+	Meta              Meta  `json:"meta"`
 }
+
+// Bound values of a degraded Response.
+const (
+	// BoundLower: Makespan is a proven lower bound (admission-shed
+	// queries get the O(legs) steady-state bound; cancelled solves the
+	// best bound the interrupted search had established).
+	BoundLower = "lower"
+	// BoundUpper: Tasks is a proven upper bound (throughput-capped
+	// task count; no schedule achieving it has been constructed).
+	BoundUpper = "upper"
+	// BoundBracket: Bracket is a two-sided [lo, hi] from an interrupted
+	// binary search whose hi was proved feasible.
+	BoundBracket = "bracket"
+)
 
 // Stats is the aggregate counter snapshot served on /stats.
 type Stats struct {
@@ -150,8 +194,13 @@ type Stats struct {
 	Constructions uint64 `json:"constructions"`
 	// Evictions counts warmed solvers dropped by the LRU.
 	Evictions uint64 `json:"evictions"`
-	// Sheds counts queries the admission controller refused (429).
+	// Sheds counts queries the admission controller refused — whether
+	// the refusal surfaced as a 429 or was converted to a degraded 200.
 	Sheds uint64 `json:"sheds"`
+	// Degraded counts bounded-quality 200s served in place of an error
+	// (shed, timeout and cancellation conversions combined; the
+	// per-reason split is on /metrics).
+	Degraded uint64 `json:"degraded"`
 	// Timeouts counts queries that hit their solve deadline.
 	Timeouts uint64 `json:"timeouts"`
 	// Cancellations counts queries whose context was cancelled before
@@ -161,8 +210,13 @@ type Stats struct {
 	// panic (a panicking construction counts too).
 	Quarantines uint64 `json:"quarantines"`
 	// QueueDepth is the number of requests currently waiting in the
-	// admission queue.
+	// admission queue (both classes).
 	QueueDepth int64 `json:"queue_depth"`
+	// WarmQueueDepth and ColdQueueDepth split QueueDepth by admission
+	// class: warm queries have a warmed solver (cache hits), cold ones
+	// need a construction.
+	WarmQueueDepth int64 `json:"warm_queue_depth"`
+	ColdQueueDepth int64 `json:"cold_queue_depth"`
 	// Entries is the current number of warmed solvers.
 	Entries int `json:"entries"`
 	// UptimeSeconds is the time since the service started.

@@ -41,6 +41,15 @@ type RetryPolicy struct {
 	// attempts and backoffs: once spent, the last error returns
 	// immediately. The context deadline applies regardless.
 	Budget time.Duration
+	// RefineDegraded, when set, treats a degraded 200 (Response.Degraded
+	// — a proven bound, not the exact answer) as provisional: Do keeps
+	// it as the best-so-far fallback and re-queries for the exact answer
+	// once the response's retry_after_seconds hint (or the ordinary
+	// backoff) elapses, within the same MaxAttempts/Budget/deadline.
+	// Exhaustion returns the degraded answer with a nil error — the
+	// caller always ends up with the best answer the budget bought.
+	// Off (the default), a degraded 200 returns immediately.
+	RefineDegraded bool
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -141,6 +150,10 @@ func (c *Client) Do(ctx context.Context, req *service.Request) (*service.Respons
 	p := *c.retry
 	start := time.Now()
 	var lastErr error
+	// degraded is the best-so-far bounded-quality answer (RefineDegraded
+	// only); whenever the loop stops without an exact answer, it wins
+	// over whatever transient error stopped the refinement.
+	var degraded *service.Response
 	for attempt := 0; ; attempt++ {
 		c.attempts.Add(1)
 		if attempt > 0 {
@@ -148,16 +161,26 @@ func (c *Client) Do(ctx context.Context, req *service.Request) (*service.Respons
 		}
 		resp, status, retryAfter, err := c.doOnce(ctx, payload)
 		if err == nil {
-			return resp, nil
-		}
-		lastErr = err
-		// Transport errors (status 0) are retryable: the request may
-		// never have arrived. Everything else retries by status only.
-		if status != 0 && !retryableStatus(status) {
-			return nil, err
-		}
-		if ctx.Err() != nil {
-			return nil, lastErr
+			if !resp.Degraded || !p.RefineDegraded {
+				return resp, nil
+			}
+			// Bounded-quality answer with refinement armed: keep it and
+			// re-query for the exact answer once the server's own hint
+			// (for sheds, the predicted backlog drain) elapses.
+			degraded, lastErr = resp, nil
+			if ra := time.Duration(resp.RetryAfterSeconds) * time.Second; ra > retryAfter {
+				retryAfter = ra
+			}
+		} else {
+			lastErr = err
+			// Transport errors (status 0) are retryable: the request may
+			// never have arrived. Everything else retries by status only.
+			if status != 0 && !retryableStatus(status) {
+				return settle(degraded, err)
+			}
+			if ctx.Err() != nil {
+				return settle(degraded, lastErr)
+			}
 		}
 		if attempt+1 >= p.MaxAttempts {
 			break
@@ -174,11 +197,24 @@ func (c *Client) Do(ctx context.Context, req *service.Request) (*service.Respons
 		case <-t.C:
 		case <-ctx.Done():
 			t.Stop()
-			return nil, lastErr
+			return settle(degraded, lastErr)
 		}
+	}
+	if degraded != nil {
+		return degraded, nil
 	}
 	c.gaveUp.Add(1)
 	return nil, fmt.Errorf("client: giving up after retries: %w", lastErr)
+}
+
+// settle resolves a stopped refinement loop: a held degraded answer
+// beats the error that stopped the loop — the caller asked for the best
+// answer the budget could buy, and a proven bound is one.
+func settle(degraded *service.Response, err error) (*service.Response, error) {
+	if degraded != nil {
+		return degraded, nil
+	}
+	return nil, err
 }
 
 // backoff is one attempt's sleep: full-jitter exponential, floored at
@@ -187,6 +223,36 @@ func backoff(p RetryPolicy, attempt int, retryAfter time.Duration) time.Duration
 	ceil := min(p.MaxBackoff, p.BaseBackoff<<uint(min(attempt, 20)))
 	sleep := time.Duration(rand.Int63n(int64(ceil) + 1))
 	return max(sleep, retryAfter)
+}
+
+// maxRetryAfter caps a parsed Retry-After hint: a misbehaving (or
+// overflow-sized) header must not schedule a retry beyond any plausible
+// drain time.
+const maxRetryAfter = 24 * time.Hour
+
+// parseRetryAfter parses a Retry-After header value per RFC 9110: a
+// non-negative delta in seconds, or an HTTP-date taken relative to now.
+// Absent, zero, negative, already-past and unparseable values are all
+// 0 — retry on the ordinary backoff; values past maxRetryAfter clamp,
+// so integer overflow (delta-seconds near 2^63 would wrap the duration
+// negative) cannot produce an instant or a never retry.
+func parseRetryAfter(v string, now time.Time) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.ParseInt(v, 10, 64); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		if secs > int64(maxRetryAfter/time.Second) {
+			return maxRetryAfter
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		return min(max(t.Sub(now), 0), maxRetryAfter)
+	}
+	return 0
 }
 
 // doOnce sends one attempt. status is 0 on transport failure;
@@ -203,9 +269,7 @@ func (c *Client) doOnce(ctx context.Context, payload []byte) (resp *service.Resp
 	}
 	defer hresp.Body.Close()
 	status = hresp.StatusCode
-	if ra, perr := strconv.ParseInt(hresp.Header.Get("Retry-After"), 10, 64); perr == nil && ra > 0 {
-		retryAfter = time.Duration(ra) * time.Second
-	}
+	retryAfter = parseRetryAfter(hresp.Header.Get("Retry-After"), time.Now())
 	// Read one byte past the cap so truncation is an explicit error
 	// rather than a baffling JSON decode failure on a cut-off body.
 	const maxResponseBytes = 256 << 20

@@ -1,0 +1,164 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// TestParseRetryAfter pins the Retry-After grammar end to end: delta
+// seconds, HTTP-dates relative to a fixed now, and every malformed or
+// hostile shape collapsing to "use the ordinary backoff" — never a
+// negative, instant-spin or past-the-heat-death sleep.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name string
+		v    string
+		want time.Duration
+	}{
+		{"absent", "", 0},
+		{"delta", "7", 7 * time.Second},
+		{"zero", "0", 0},
+		{"negative", "-5", 0},
+		{"overflow rejected by ParseInt", "99999999999999999999", 0},
+		{"huge delta clamps to cap", "999999999999", maxRetryAfter},
+		{"http date ahead", now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{"http date past", now.Add(-time.Hour).Format(http.TimeFormat), 0},
+		{"http date far future clamps", now.Add(1000 * time.Hour).Format(http.TimeFormat), maxRetryAfter},
+		{"garbage", "soon", 0},
+		{"float is not delta-seconds", "1.5", 0},
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.v, now); got != c.want {
+			t.Errorf("%s: parseRetryAfter(%q) = %s, want %s", c.name, c.v, got, c.want)
+		}
+	}
+}
+
+// degradedThenExactServer answers the first `degradedFor` solves with a
+// degraded lower bound and exact answers after; calls counts attempts.
+func degradedThenExactServer(t *testing.T, degradedFor int64, calls *atomic.Int64) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		resp := service.Response{Op: service.OpMinMakespan, N: 5, Makespan: 42}
+		if n <= degradedFor {
+			resp.Makespan = 30
+			resp.Degraded = true
+			resp.Bound = service.BoundLower
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			t.Error(err)
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestClientRefinesDegraded: with RefineDegraded armed, a degraded 200
+// is provisional — the client re-queries and returns the exact answer;
+// without it, the degraded answer returns immediately.
+func TestClientRefinesDegraded(t *testing.T) {
+	var calls atomic.Int64
+	ts := degradedThenExactServer(t, 1, &calls)
+	cl := New(ts.URL, ts.Client()).WithRetry(RetryPolicy{
+		MaxAttempts:    4,
+		BaseBackoff:    time.Millisecond,
+		MaxBackoff:     2 * time.Millisecond,
+		RefineDegraded: true,
+	})
+	resp, err := cl.Do(context.Background(), &service.Request{Op: service.OpMinMakespan, N: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Degraded || resp.Makespan != 42 {
+		t.Errorf("refined answer degraded=%t makespan=%d, want exact 42", resp.Degraded, resp.Makespan)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("server saw %d attempts, want 2 (degraded then exact)", got)
+	}
+
+	// Refinement off: the degraded 200 is final.
+	calls.Store(0)
+	ts2 := degradedThenExactServer(t, 1, &calls)
+	cl2 := New(ts2.URL, ts2.Client()).WithRetry(RetryPolicy{
+		MaxAttempts: 4,
+		BaseBackoff: time.Millisecond,
+	})
+	resp, err = cl2.Do(context.Background(), &service.Request{Op: service.OpMinMakespan, N: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Degraded || resp.Makespan != 30 {
+		t.Errorf("unrefined answer degraded=%t makespan=%d, want the degraded 30", resp.Degraded, resp.Makespan)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d attempts, want 1", got)
+	}
+}
+
+// TestClientRefineExhaustionKeepsDegraded: when every attempt answers
+// degraded, the loop exhausts MaxAttempts and returns the bounded
+// answer with a NIL error — the budget bought a proven bound, which is
+// an answer, not a failure — and GaveUp stays 0.
+func TestClientRefineExhaustionKeepsDegraded(t *testing.T) {
+	var calls atomic.Int64
+	ts := degradedThenExactServer(t, 1<<40, &calls)
+	cl := New(ts.URL, ts.Client()).WithRetry(RetryPolicy{
+		MaxAttempts:    3,
+		BaseBackoff:    time.Millisecond,
+		MaxBackoff:     2 * time.Millisecond,
+		RefineDegraded: true,
+	})
+	resp, err := cl.Do(context.Background(), &service.Request{Op: service.OpMinMakespan, N: 5})
+	if err != nil {
+		t.Fatalf("exhausted refinement must settle on the degraded answer, got error %v", err)
+	}
+	if !resp.Degraded || resp.Makespan != 30 {
+		t.Errorf("settled answer degraded=%t makespan=%d, want the degraded 30", resp.Degraded, resp.Makespan)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d attempts, want MaxAttempts=3", got)
+	}
+	if st := cl.RetryStats(); st.GaveUp != 0 {
+		t.Errorf("gaveUp = %d, want 0: returning a bound is not giving up", st.GaveUp)
+	}
+}
+
+// TestClientBudgetExhaustionMidBackoff: a server whose Retry-After
+// (2s) exceeds the remaining budget (50ms) must fail fast — the client
+// gives up before sleeping, not after honouring a hint it cannot
+// afford.
+func TestClientBudgetExhaustionMidBackoff(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "2")
+		http.Error(w, `{"error":"overloaded"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	cl := New(ts.URL, ts.Client()).WithRetry(RetryPolicy{
+		MaxAttempts: 5,
+		BaseBackoff: time.Millisecond,
+		Budget:      50 * time.Millisecond,
+	})
+	start := time.Now()
+	_, err := cl.Do(context.Background(), &service.Request{Op: service.OpMinMakespan, N: 5})
+	elapsed := time.Since(start)
+	if err == nil || !strings.Contains(err.Error(), "giving up") {
+		t.Fatalf("err = %v, want give-up", err)
+	}
+	if elapsed >= time.Second {
+		t.Errorf("gave up after %s; the 2s Retry-After was slept against a 50ms budget", elapsed)
+	}
+	if st := cl.RetryStats(); st.Attempts != 1 || st.GaveUp != 1 {
+		t.Errorf("retry stats = %+v, want 1 attempt and 1 gave-up", st)
+	}
+}

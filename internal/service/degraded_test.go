@@ -1,0 +1,372 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/platform"
+	"repro/internal/spider"
+)
+
+// TestShedDegradesToLowerBound is the shed half of the degradation
+// tentpole: with the pool busy and the queue full, a min_makespan query
+// answers a degraded 200 carrying the O(legs) lower bound and a
+// max_tasks query the throughput upper bound — and neither constructs a
+// solver nor consumes a queue slot, counter-asserted via constructions
+// and queue depth before/after.
+func TestShedDegradesToLowerBound(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueMax: 1})
+	entered := make(chan struct{}, 8)
+	release := make(chan struct{})
+	svc.testHookBuild = func() {
+		entered <- struct{}{}
+		<-release
+	}
+
+	sp := func(i int) platform.Spider {
+		return platform.NewSpider(platform.NewChain(1, platform.Time(i+2)), platform.NewChain(2, 3))
+	}
+
+	// A holds the only worker slot inside its construction; B fills the
+	// one cold queue seat.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := svc.Solve(context.Background(), mustSpiderRequest(t, sp(i), OpMinMakespan, 10, 0)); err != nil {
+				t.Errorf("admitted request %d: %v", i, err)
+			}
+		}(i)
+	}
+	<-entered
+	waitForQueueDepth(t, svc, 1)
+
+	before := svc.Stats()
+
+	// C sheds: the degraded answer must be the platform's own lower
+	// bound, no solver involved.
+	const n = 25
+	shedSp := sp(2)
+	resp, err := svc.Solve(context.Background(), mustSpiderRequest(t, shedSp, OpMinMakespan, n, 0))
+	if err != nil {
+		t.Fatalf("shed min_makespan: %v", err)
+	}
+	wantLB, lbErr := shedSp.LowerBound(n)
+	if lbErr != nil {
+		t.Fatal(lbErr)
+	}
+	if !resp.Degraded || resp.Bound != BoundLower {
+		t.Fatalf("shed response degraded=%t bound=%q, want degraded lower bound", resp.Degraded, resp.Bound)
+	}
+	if resp.Makespan != wantLB {
+		t.Errorf("degraded makespan %d, want platform lower bound %d", resp.Makespan, wantLB)
+	}
+	if resp.RetryAfterSeconds < 1 {
+		t.Errorf("RetryAfterSeconds = %d, want >= 1", resp.RetryAfterSeconds)
+	}
+	if resp.Meta.Cache != "degraded" {
+		t.Errorf("meta cache = %q, want degraded", resp.Meta.Cache)
+	}
+	if len(resp.Schedule) != 0 {
+		t.Error("degraded response carries a schedule")
+	}
+
+	// D sheds a max_tasks query: throughput-capped upper bound.
+	const deadline = platform.Time(40)
+	dResp, err := svc.Solve(context.Background(), mustSpiderRequest(t, sp(3), OpMaxTasks, n, deadline))
+	if err != nil {
+		t.Fatalf("shed max_tasks: %v", err)
+	}
+	wantUB, ubErr := sp(3).TasksUpperBound(n, deadline)
+	if ubErr != nil {
+		t.Fatal(ubErr)
+	}
+	if !dResp.Degraded || dResp.Bound != BoundUpper {
+		t.Fatalf("shed max_tasks degraded=%t bound=%q, want degraded upper bound", dResp.Degraded, dResp.Bound)
+	}
+	if dResp.Tasks != wantUB {
+		t.Errorf("degraded tasks %d, want throughput upper bound %d", dResp.Tasks, wantUB)
+	}
+
+	after := svc.Stats()
+	if after.Constructions != before.Constructions {
+		t.Errorf("shed degraded answers constructed solvers: %d -> %d", before.Constructions, after.Constructions)
+	}
+	if after.QueueDepth != before.QueueDepth {
+		t.Errorf("shed degraded answers held queue slots: depth %d -> %d", before.QueueDepth, after.QueueDepth)
+	}
+	if got := after.Sheds - before.Sheds; got != 2 {
+		t.Errorf("sheds = %d, want 2 (degraded answers still count as sheds)", got)
+	}
+	if after.Degraded != 2 {
+		t.Errorf("degraded = %d, want 2", after.Degraded)
+	}
+
+	// The admitted traffic was untouched: release it and cross-check the
+	// degraded bound against the exact answer it stood in for.
+	close(release)
+	wg.Wait()
+	exact, _, err := spider.MinMakespan(shedSp, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Makespan > exact {
+		t.Errorf("degraded lower bound %d exceeds exact makespan %d", resp.Makespan, exact)
+	}
+}
+
+// TestShedDegradeOptOut: allow_degraded:false restores the 429 contract
+// even while sheds default to degraded answers.
+func TestShedDegradeOptOut(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueMax: 1})
+	entered := make(chan struct{}, 4)
+	release := make(chan struct{})
+	svc.testHookBuild = func() {
+		entered <- struct{}{}
+		<-release
+	}
+
+	sp := func(i int) platform.Spider {
+		return platform.NewSpider(platform.NewChain(1, platform.Time(i+2)))
+	}
+	done := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			defer func() { done <- struct{}{} }()
+			_, _ = svc.Solve(context.Background(), mustSpiderRequest(t, sp(i), OpMinMakespan, 5, 0))
+		}(i)
+	}
+	<-entered
+	waitForQueueDepth(t, svc, 1)
+
+	optOut := false
+	req := mustSpiderRequest(t, sp(2), OpMinMakespan, 5, 0)
+	req.AllowDegraded = &optOut
+	_, err := svc.Solve(context.Background(), req)
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("opted-out shed: err = %v, want OverloadError", err)
+	}
+	close(release)
+	<-done
+	<-done
+}
+
+// TestTimeoutDegradesWhenAllowed: a query whose construction is stalled
+// past its timeout_ms answers a degraded lower bound when it opts in —
+// and keeps the 504-shaped error when it does not (DegradedDefault off).
+func TestTimeoutDegradesWhenAllowed(t *testing.T) {
+	mk := func(cfg Config) *Service {
+		cfg.Faults = faultinject.New(faultinject.Rule{Site: faultinject.SiteConstruct, DelayMs: 60_000})
+		return New(cfg)
+	}
+	sp := testSpider()
+	const n = 12
+
+	// Opted in: degraded 200 with the platform lower bound.
+	svc := mk(Config{})
+	allow := true
+	req := mustSpiderRequest(t, sp, OpMinMakespan, n, 0)
+	req.TimeoutMs = 50
+	req.AllowDegraded = &allow
+	resp, err := svc.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatalf("opted-in timeout: %v", err)
+	}
+	if !resp.Degraded || resp.Bound != BoundLower {
+		t.Fatalf("degraded=%t bound=%q, want degraded lower bound", resp.Degraded, resp.Bound)
+	}
+	wantLB, lbErr := sp.LowerBound(n)
+	if lbErr != nil {
+		t.Fatal(lbErr)
+	}
+	if resp.Makespan != wantLB {
+		t.Errorf("degraded makespan %d, want %d", resp.Makespan, wantLB)
+	}
+	st := svc.Stats()
+	if st.Timeouts != 1 {
+		t.Errorf("timeouts = %d, want 1 (degraded conversions still count)", st.Timeouts)
+	}
+	if st.Degraded != 1 {
+		t.Errorf("degraded = %d, want 1", st.Degraded)
+	}
+
+	// Default: the timeout error shape is unchanged.
+	svc = mk(Config{})
+	req = mustSpiderRequest(t, sp, OpMinMakespan, n, 0)
+	req.TimeoutMs = 50
+	if _, err := svc.Solve(context.Background(), req); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("default timeout: err = %v, want context.DeadlineExceeded", err)
+	}
+
+	// -degraded-default flips the default; no per-request field needed.
+	svc = mk(Config{DegradedDefault: true})
+	req = mustSpiderRequest(t, sp, OpMinMakespan, n, 0)
+	req.TimeoutMs = 50
+	resp, err = svc.Solve(context.Background(), req)
+	if err != nil || !resp.Degraded {
+		t.Fatalf("DegradedDefault timeout: resp=%+v err=%v, want degraded answer", resp, err)
+	}
+
+	// schedule_within never degrades: there is no partial schedule.
+	svc = mk(Config{DegradedDefault: true})
+	req = mustSpiderRequest(t, sp, OpScheduleWithin, n, 100)
+	req.TimeoutMs = 50
+	if _, err := svc.Solve(context.Background(), req); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("schedule_within timeout: err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestDegradeBracketFromPartial drives the conversion directly with a
+// solver-carried bracket: the degraded answer must take the tighter of
+// the platform bound and the search's Lo, report the feasible Hi, and
+// refuse to fabricate a bracket when the search never proved one.
+func TestDegradeBracketFromPartial(t *testing.T) {
+	svc := New(Config{DegradedDefault: true})
+	sp := testSpider()
+	const n = 12
+	lb, err := sp.LowerBound(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := svc.parse(mustSpiderRequest(t, sp, OpMinMakespan, n, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cause := &core.PartialError{
+		Partial: core.Partial{Lo: lb + 3, Hi: lb + 9, Feasible: true},
+		Err:     context.DeadlineExceeded,
+	}
+	resp, ok := svc.degrade(q, cause)
+	if !ok {
+		t.Fatal("bracket-carrying timeout did not degrade")
+	}
+	if resp.Bound != BoundBracket || len(resp.Bracket) != 2 {
+		t.Fatalf("bound=%q bracket=%v, want a 2-element bracket", resp.Bound, resp.Bracket)
+	}
+	if resp.Bracket[0] != lb+3 || resp.Bracket[1] != lb+9 || resp.Makespan != lb+3 {
+		t.Errorf("bracket [%d, %d] makespan %d, want [%d, %d] and %d",
+			resp.Bracket[0], resp.Bracket[1], resp.Makespan, lb+3, lb+9, lb+3)
+	}
+
+	// Feasible false: lower bound only, even though Hi is populated.
+	cause = &core.PartialError{
+		Partial: core.Partial{Lo: lb + 1, Hi: lb + 100},
+		Err:     context.DeadlineExceeded,
+	}
+	resp, ok = svc.degrade(q, cause)
+	if !ok {
+		t.Fatal("lower-bound-only timeout did not degrade")
+	}
+	if resp.Bound != BoundLower || resp.Bracket != nil {
+		t.Fatalf("bound=%q bracket=%v, want plain lower bound", resp.Bound, resp.Bracket)
+	}
+	if resp.Makespan != lb+1 {
+		t.Errorf("makespan %d, want the search's tighter bound %d", resp.Makespan, lb+1)
+	}
+
+	// The platform bound wins when the search had not yet passed it.
+	cause = &core.PartialError{
+		Partial: core.Partial{Lo: 1},
+		Err:     context.DeadlineExceeded,
+	}
+	if resp, ok = svc.degrade(q, cause); !ok || resp.Makespan != lb {
+		t.Errorf("makespan %d (ok=%t), want platform bound %d", resp.Makespan, ok, lb)
+	}
+}
+
+// TestWarmTrafficSurvivesColdStorm is the two-class acceptance test:
+// with one reserved warm slot, a storm of fault-stalled cold
+// constructions saturates the shared pool and the cold queue, yet warm
+// repeats keep answering — never shed, never degraded, and within a
+// latency bound far below the storm's stall. Synchronisation is by
+// fault-hit and queue-depth counters; no sleeps gate correctness.
+func TestWarmTrafficSurvivesColdStorm(t *testing.T) {
+	faults := faultinject.New(faultinject.Rule{
+		Site:    faultinject.SiteConstruct,
+		DelayMs: 120_000, // far beyond the test; storm contexts are cancelled below
+		Skip:    1,       // the warm platform's own construction passes
+	})
+	svc := New(Config{Workers: 2, WarmSlots: 1, QueueMax: 8, Faults: faults})
+	warm := testSpider()
+
+	// Pre-warm and measure unloaded warm latency (distinct n per query
+	// defeats the memo, so every query runs the admission path).
+	if _, err := svc.Solve(context.Background(), mustSpiderRequest(t, warm, OpMinMakespan, 10, 0)); err != nil {
+		t.Fatal(err)
+	}
+	var unloaded time.Duration
+	for n := 11; n <= 20; n++ {
+		start := time.Now()
+		if _, err := svc.Solve(context.Background(), mustSpiderRequest(t, warm, OpMinMakespan, n, 0)); err != nil {
+			t.Fatalf("unloaded warm n=%d: %v", n, err)
+		}
+		unloaded = max(unloaded, time.Since(start))
+	}
+
+	// Cold storm: 4 distinct platforms. The first takes the one shared
+	// slot and stalls inside the construct fault; the rest fill the cold
+	// queue. Counter-synchronised: the stormer is provably inside the
+	// fault site and the queue provably holds the others before any warm
+	// query is timed.
+	stormCtx, stopStorm := context.WithCancel(context.Background())
+	var storm sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		storm.Add(1)
+		go func(i int) {
+			defer storm.Done()
+			sp := platform.NewSpider(platform.NewChain(1, platform.Time(i+30)))
+			_, err := svc.Solve(stormCtx, mustSpiderRequest(t, sp, OpMinMakespan, 10, 0))
+			if err == nil || !errors.Is(err, context.Canceled) {
+				t.Errorf("storm %d: err = %v, want context.Canceled", i, err)
+			}
+		}(i)
+	}
+	defer storm.Wait()
+	defer stopStorm()
+	deadline := time.Now().Add(10 * time.Second)
+	for faults.Hits(faultinject.SiteConstruct) < 2 || svc.Stats().ColdQueueDepth < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("storm never settled: hits=%d coldDepth=%d",
+				faults.Hits(faultinject.SiteConstruct), svc.Stats().ColdQueueDepth)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if d := svc.Stats().WarmQueueDepth; d != 0 {
+		t.Errorf("warm queue depth under cold storm = %d, want 0", d)
+	}
+
+	// Warm repeats under the storm: all must succeed promptly through
+	// the reserved slot.
+	var p99 time.Duration
+	for n := 21; n <= 40; n++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		start := time.Now()
+		resp, err := svc.Solve(ctx, mustSpiderRequest(t, warm, OpMinMakespan, n, 0))
+		cancel()
+		if err != nil {
+			t.Fatalf("warm n=%d under storm: %v", n, err)
+		}
+		if resp.Degraded {
+			t.Fatalf("warm n=%d under storm answered degraded", n)
+		}
+		p99 = max(p99, time.Since(start))
+	}
+	// The bound separates "admitted through the reserve" (micro- to
+	// milliseconds) from "starved behind the storm" (the 120s stall or
+	// the 10s context) by orders of magnitude; the floor absorbs
+	// scheduler noise on loaded CI machines.
+	if limit := max(5*unloaded, 250*time.Millisecond); p99 > limit {
+		t.Errorf("warm p99 under storm = %s, want <= %s (unloaded %s)", p99, limit, unloaded)
+	}
+	if sheds := svc.Stats().Sheds; sheds != 0 {
+		t.Errorf("sheds under storm = %d, want 0 (warm never sheds while slots are free)", sheds)
+	}
+}

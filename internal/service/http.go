@@ -65,7 +65,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // solveStatus maps a Solve error onto the response status, setting any
-// per-status headers (Retry-After for sheds) on the way.
+// per-status headers (Retry-After for sheds) on the way. Failures the
+// degradation contract converted never reach here: Solve already turned
+// them into 200s with Degraded set (see degraded.go), so this switch
+// only sees sheds the request opted out of, timeouts/cancellations
+// without an opt-in, and the non-convertible errors.
 func solveStatus(w http.ResponseWriter, err error) int {
 	var oe *OverloadError
 	switch {

@@ -73,7 +73,7 @@ func init() {
 	registerKind(&kindHandler{
 		wire: "chain", solverKind: "chain",
 		prepare: func(q *query, dec platform.Decoded, horizonN int) (any, error) {
-			q.chain = *dec.Chain
+			q.chain, q.size = *dec.Chain, 1
 			return dec.Chain, q.chain.CheckHorizon(horizonN)
 		},
 		construct: func(q *query) (backend, error) {
@@ -88,6 +88,7 @@ func init() {
 		wire: "spider", solverKind: "spider",
 		prepare: func(q *query, dec platform.Decoded, horizonN int) (any, error) {
 			q.sp = *dec.Spider
+			q.size = q.sp.NumLegs()
 			return dec.Spider, q.sp.CheckHorizon(horizonN)
 		},
 		construct: constructSpider,
@@ -96,6 +97,7 @@ func init() {
 		wire: "fork", solverKind: "spider",
 		prepare: func(q *query, dec platform.Decoded, horizonN int) (any, error) {
 			q.sp = dec.Fork.Spider()
+			q.size = q.sp.NumLegs()
 			return q.sp, q.sp.CheckHorizon(horizonN)
 		},
 		construct: constructSpider,
@@ -104,6 +106,7 @@ func init() {
 		wire: "tree", solverKind: "tree",
 		prepare: func(q *query, dec platform.Decoded, horizonN int) (any, error) {
 			q.tr = *dec.Tree
+			q.size = q.tr.NumProcs()
 			return dec.Tree, q.tr.CheckHorizon(horizonN)
 		},
 		construct: func(q *query) (backend, error) {

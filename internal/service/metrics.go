@@ -40,6 +40,12 @@ type metrics struct {
 	cancellations *obs.Counter
 	quarantines   *obs.Counter
 	cancelHits    *obs.Counter
+
+	// Degraded-answer counters, one per conversion reason — the
+	// bounded-quality 200s served in place of a 429/504/499.
+	degradedShed    *obs.Counter
+	degradedTimeout *obs.Counter
+	degradedCancel  *obs.Counter
 }
 
 func newMetrics(s *Service) *metrics {
@@ -60,6 +66,10 @@ func newMetrics(s *Service) *metrics {
 		quarantines:   r.Counter("repro_service_quarantines_total", "poisoned cache entries evicted after a solver panic"),
 		cancelHits:    r.Counter("repro_service_cancel_checkpoint_hits_total", "solves stopped at a cooperative cancellation checkpoint"),
 	}
+	const degradedHelp = "bounded-quality 200s served in place of an error, by conversion reason"
+	m.degradedShed = r.Counter("repro_service_degraded_total", degradedHelp, "reason", "shed")
+	m.degradedTimeout = r.Counter("repro_service_degraded_total", degradedHelp, "reason", "timeout")
+	m.degradedCancel = r.Counter("repro_service_degraded_total", degradedHelp, "reason", "cancel")
 	r.GaugeFunc("repro_service_entries", "warmed solvers currently cached", func() int64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -69,13 +79,26 @@ func newMetrics(s *Service) *metrics {
 		return int64(s.uptime().Seconds())
 	})
 	// s.adm is wired right after newMetrics returns (it needs the sheds
-	// counter); the closure reads it per exposition, not at registration.
+	// counter); the closures read it per exposition, not at registration.
 	r.GaugeFunc("repro_service_queue_depth", "requests waiting in the admission queue", func() int64 {
 		if s.adm == nil {
 			return 0
 		}
 		return s.adm.depth()
 	})
+	const classDepthHelp = "requests waiting in the admission queue, by traffic class"
+	r.GaugeFunc("repro_service_queue_class_depth", classDepthHelp, func() int64 {
+		if s.adm == nil {
+			return 0
+		}
+		return s.adm.classDepth(classWarm)
+	}, "class", "warm")
+	r.GaugeFunc("repro_service_queue_class_depth", classDepthHelp, func() int64 {
+		if s.adm == nil {
+			return 0
+		}
+		return s.adm.classDepth(classCold)
+	}, "class", "cold")
 	return m
 }
 

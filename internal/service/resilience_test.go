@@ -132,8 +132,14 @@ func TestOverloadShedsWithRetryAfter(t *testing.T) {
 	sp := func(i int) platform.Spider {
 		return platform.NewSpider(platform.NewChain(1, platform.Time(i+2)), platform.NewChain(2, 3))
 	}
+	// The burst opts out of degraded answers: this test pins the
+	// opt-out contract — a refused query still surfaces the 429 shape.
+	// The degraded default is TestShedDegradesToLowerBound's subject.
+	optOut := false
 	solve := func(i int) (*Response, error) {
-		return svc.Solve(context.Background(), mustSpiderRequest(t, sp(i), OpMinMakespan, 10, 0))
+		req := mustSpiderRequest(t, sp(i), OpMinMakespan, 10, 0)
+		req.AllowDegraded = &optOut
+		return svc.Solve(context.Background(), req)
 	}
 
 	// A holds the only worker slot inside its construction.
@@ -366,7 +372,9 @@ func TestSolveStatusMapping(t *testing.T) {
 }
 
 // TestHandlerOverloadIs429 drives one shed through the real HTTP
-// surface: status 429 and a positive integer Retry-After header.
+// surface with allow_degraded:false: status 429 and a positive integer
+// Retry-After header — the pre-degradation contract, kept for clients
+// that must not act on a bound.
 func TestHandlerOverloadIs429(t *testing.T) {
 	svc := New(Config{Workers: 1, QueueMax: 1})
 	entered := make(chan struct{}, 4)
@@ -381,9 +389,12 @@ func TestHandlerOverloadIs429(t *testing.T) {
 	// waits for in-flight requests, which wait on release.
 	defer close(release)
 
+	optOut := false
 	post := func(sp platform.Spider) *http.Response {
 		t.Helper()
-		body, err := json.Marshal(mustSpiderRequest(t, sp, OpMinMakespan, 10, 0))
+		req := mustSpiderRequest(t, sp, OpMinMakespan, 10, 0)
+		req.AllowDegraded = &optOut
+		body, err := json.Marshal(req)
 		if err != nil {
 			t.Fatal(err)
 		}

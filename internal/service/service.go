@@ -56,11 +56,28 @@ type Config struct {
 	// arrivals are shed with ErrOverload (HTTP 429). Default
 	// 16×Workers.
 	QueueMax int
-	// ShedBudget, when positive, sheds while the worker pool is busy
-	// and the predicted backlog — the summed cost-model predictions of
-	// admitted and queued work — exceeds it. Zero disables cost-based
-	// shedding (the queue bound still applies).
+	// ShedBudget, when positive, sheds cold (construction) work while
+	// the worker pool is busy and the predicted backlog — the summed
+	// cost-model predictions of admitted and queued work — exceeds it.
+	// Zero disables cost-based shedding (the queue bound still
+	// applies). Warm repeats are never budget-shed: the reserved warm
+	// slots bound their wait.
 	ShedBudget time.Duration
+	// WarmSlots reserves worker slots for the warm admission class —
+	// queries whose solver is already cached — so cold-construction
+	// storms cannot starve warm repeats. Zero picks the default (a
+	// quarter of Workers, at least one, when Workers >= 2); values are
+	// clamped to leave the cold class at least one slot.
+	WarmSlots int
+	// DegradedDefault makes timed-out and cancelled queries answer
+	// degraded 200s (best-so-far bound or bracket) by default; requests
+	// still override per query with allow_degraded. Off, the default,
+	// keeps the PR 8 contract: 504/499 unless the request opts in.
+	// Sheds are the other way around: they degrade unless the request
+	// opts out, because the O(legs) bound is computed without a solver
+	// or a queue slot — strictly more information than a 429 at the
+	// same cost.
+	DegradedDefault bool
 	// MaxBody bounds a /solve request body in bytes; oversized bodies
 	// are rejected with HTTP 413. Default 16 MiB.
 	MaxBody int64
@@ -128,7 +145,8 @@ func New(cfg Config) *Service {
 		building: make(map[ckey]*construction),
 	}
 	s.m = newMetrics(s)
-	s.adm = newAdmission(cfg.Workers, cfg.QueueMax, cfg.ShedBudget, s.m.sheds)
+	s.adm = newAdmission(cfg.Workers, warmReserve(cfg.Workers, cfg.WarmSlots),
+		cfg.QueueMax, cfg.ShedBudget, s.m.sheds)
 	s.cm = newCostModel()
 	return s
 }
@@ -178,11 +196,15 @@ func (s *Service) Stats() Stats {
 		Constructions: uint64(s.m.constructions.Value()),
 		Evictions:     uint64(s.m.evictions.Value()),
 		Sheds:         uint64(s.m.sheds.Value()),
-		Timeouts:      uint64(s.m.timeouts.Value()),
-		Cancellations: uint64(s.m.cancellations.Value()),
-		Quarantines:   uint64(s.m.quarantines.Value()),
-		QueueDepth:    s.adm.depth(),
-		UptimeSeconds: s.uptime().Seconds(),
+		Degraded: uint64(s.m.degradedShed.Value()) +
+			uint64(s.m.degradedTimeout.Value()) + uint64(s.m.degradedCancel.Value()),
+		Timeouts:       uint64(s.m.timeouts.Value()),
+		Cancellations:  uint64(s.m.cancellations.Value()),
+		Quarantines:    uint64(s.m.quarantines.Value()),
+		QueueDepth:     s.adm.depth(),
+		WarmQueueDepth: s.adm.classDepth(classWarm),
+		ColdQueueDepth: s.adm.classDepth(classCold),
+		UptimeSeconds:  s.uptime().Seconds(),
 	}
 	s.mu.Lock()
 	st.Entries = s.lru.Len()
@@ -279,6 +301,7 @@ type query struct {
 	chain     platform.Chain  // chain kind
 	sp        platform.Spider // spider kind, request leg order
 	tr        platform.Tree   // tree kind, request sibling order
+	size      int             // platform leg count, the cold-cost size proxy
 	flightKey string
 	// retried marks that this query already re-entered the cache path
 	// once after inheriting a dead leader's context error, so a second
@@ -328,8 +351,15 @@ func (s *Service) parse(req *Request) (*query, error) {
 		return nil, fmt.Errorf("service: task count %d exceeds the per-query limit %d", req.N, s.cfg.MaxN)
 	}
 	lit := sha256.Sum256(literal)
-	q.flightKey = fmt.Sprintf("%s|%s|%s|%d|%d|%t",
-		hex.EncodeToString(lit[:]), q.key.kind, req.Op, req.N, req.Deadline, req.IncludeSchedule)
+	// The allow_degraded tri-state is part of the flight key: coalesced
+	// joiners share the leader's response verbatim, and a degraded 200
+	// is only correct for joiners with the same degradation contract.
+	deg := "-"
+	if req.AllowDegraded != nil {
+		deg = fmt.Sprintf("%t", *req.AllowDegraded)
+	}
+	q.flightKey = fmt.Sprintf("%s|%s|%s|%d|%d|%t|%s",
+		hex.EncodeToString(lit[:]), q.key.kind, req.Op, req.N, req.Deadline, req.IncludeSchedule, deg)
 	return q, nil
 }
 
@@ -381,6 +411,20 @@ func (s *Service) Solve(ctx context.Context, req *Request) (resp *Response, err 
 		return nil, err
 	}
 	q.ctx = ctx
+	// Degraded conversion runs on every exit below — leader and joiner
+	// alike — AFTER the flight defer has published the raw outcome
+	// (defers are LIFO): joiners sharing a failed flight convert their
+	// own copy, under their own (identical, by flight key) contract. It
+	// runs BEFORE the outcome classifier above, which then sees nil and
+	// leaves the per-reason counting to degrade.
+	defer func() {
+		if err == nil {
+			return
+		}
+		if d, ok := s.degrade(q, err); ok {
+			resp, err = d, nil
+		}
+	}()
 
 	s.mu.Lock()
 	if c, ok := s.flight[q.flightKey]; ok {
@@ -496,7 +540,7 @@ func (s *Service) solveLeading(q *query) (*Response, error) {
 				return &solved{tasks: v.tasks, makespan: v.makespan}, nil
 			}
 		}
-		release, admErr := s.adm.admit(q.ctx, s.cm.predict(q.key.kind, false), admitWaived)
+		release, admErr := s.adm.admit(q.ctx, s.cm.predict(q.key.kind, false, q.size), classWarm, admitWaived)
 		if admErr != nil {
 			return nil, admErr
 		}
@@ -623,7 +667,7 @@ func (s *Service) quarantine(e *entry) {
 // exactly like a panicking solve, it just was never cached — so the
 // waiting builds resolve with the error exactly once each.
 func (s *Service) construct(q *query) (e *entry, err error) {
-	release, admErr := s.adm.admit(q.ctx, s.cm.predict(q.key.kind, true), false)
+	release, admErr := s.adm.admit(q.ctx, s.cm.predict(q.key.kind, true, q.size), classCold, false)
 	if admErr != nil {
 		return nil, admErr
 	}

@@ -1,0 +1,126 @@
+package spider
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/platform"
+)
+
+// bracketSpider is wide enough that MinMakespan runs a real multi-probe
+// search — the bracket has something to narrow.
+func bracketSpider() platform.Spider {
+	return platform.NewSpider(
+		platform.NewChain(2, 5, 3, 3),
+		platform.NewChain(1, 4, 6, 2),
+		platform.NewChain(3, 2, 2, 7),
+		platform.NewChain(2, 8),
+	)
+}
+
+// TestMinMakespanCancelBracketSound cancels the binary search after
+// every possible probe count in turn and checks the carried-out
+// bracket against the uncancelled answer: Lo ≤ exact always, and
+// exact ≤ Hi whenever Feasible claims a probe proved Hi. This is the
+// soundness half of the degraded-answer contract — a timed-out query's
+// [lo, hi] must contain the answer the client would have gotten.
+func TestMinMakespanCancelBracketSound(t *testing.T) {
+	sp := bracketSpider()
+	const n = 60
+	exact, _, err := MinMakespan(sp, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawFeasible := false
+	for cut := 1; ; cut++ {
+		s, err := NewSolver(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		probes := 0
+		s.testProbeHook = func() {
+			if probes++; probes > cut {
+				cancel()
+			}
+		}
+		s.SetCancel(obs.NewCancelCheck(ctx, nil))
+		mk, _, err := s.MinMakespan(n)
+		if err == nil {
+			// The search converged before the cut: every later cut
+			// converges too, so the sweep is complete.
+			cancel()
+			if mk != exact {
+				t.Fatalf("cut %d: uncancelled makespan %d, want %d", cut, mk, exact)
+			}
+			break
+		}
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cut %d: err = %v, want context.Canceled", cut, err)
+		}
+		var pe *core.PartialError
+		if !errors.As(err, &pe) {
+			t.Fatalf("cut %d: cancellation carries no *core.PartialError: %v", cut, err)
+		}
+		p := pe.Partial
+		if p.Lo > exact {
+			t.Errorf("cut %d: bracket lo %d exceeds exact %d", cut, p.Lo, exact)
+		}
+		if p.Feasible {
+			sawFeasible = true
+			if p.Hi < exact {
+				t.Errorf("cut %d: feasible hi %d below exact %d", cut, p.Hi, exact)
+			}
+			if p.Lo > p.Hi {
+				t.Errorf("cut %d: inverted bracket [%d, %d]", cut, p.Lo, p.Hi)
+			}
+		}
+		if cut > 10_000 {
+			t.Fatal("search never converges")
+		}
+	}
+	if !sawFeasible {
+		t.Error("no cut produced a feasible bracket; the sweep never interrupted the bisection")
+	}
+}
+
+// TestMinMakespanCancelBeforeAnyProbe cancels before the first probe
+// can run: the unwind must still carry a Partial — the seeded lower
+// bound is proven before any probe — but never claim feasibility or
+// fabricate an upper bound.
+func TestMinMakespanCancelBeforeAnyProbe(t *testing.T) {
+	sp := bracketSpider()
+	const n = 60
+	exact, _, err := MinMakespan(sp, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSolver(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.SetCancel(obs.NewCancelCheck(ctx, nil))
+	_, sol, err := s.MinMakespan(n)
+	if err == nil || sol != nil {
+		t.Fatalf("pre-cancelled solve returned (%v, %v), want error and no schedule", sol, err)
+	}
+	var pe *core.PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("pre-cancelled solve carries no *core.PartialError: %v", err)
+	}
+	if pe.Partial.Feasible {
+		t.Error("no probe ran, yet the bracket claims a feasible upper bound")
+	}
+	if pe.Partial.Lo > exact {
+		t.Errorf("pre-probe lower bound %d exceeds exact %d", pe.Partial.Lo, exact)
+	}
+	if pe.Partial.Lo < 1 {
+		t.Errorf("pre-probe lower bound %d below the trivial bound 1", pe.Partial.Lo)
+	}
+}

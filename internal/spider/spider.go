@@ -45,6 +45,8 @@
 package spider
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -158,6 +160,13 @@ type Solver struct {
 	// both are dominated, so warm probes skip the worker pool entirely.
 	prepN        int
 	prepDeadline platform.Time
+
+	// testProbeHook, when non-nil, runs at the top of every feasibility
+	// probe (fits). It is a test seam: cancelling the observed context
+	// from the hook stops the search at a chosen probe, so the
+	// best-so-far bracket a cancellation carries out can be asserted
+	// deterministically. Set it between queries only.
+	testProbeHook func()
 }
 
 // ProbeStats is the solver's cumulative deadline-search telemetry; the
@@ -806,6 +815,9 @@ func (s *Solver) MaxTasks(n int, deadline platform.Time) (k int, err error) {
 // the merge and packing are skipped outright; otherwise the counts
 // already computed feed the packing directly instead of being rescanned.
 func (s *Solver) fits(n int, deadline platform.Time) (bool, error) {
+	if s.testProbeHook != nil {
+		s.testProbeHook()
+	}
 	// One immediate (unstrided) poll per deadline probe: the coarse
 	// checkpoint that bounds how many probes a dead request still pays
 	// for, independent of the strided hot-loop checks below it.
@@ -879,7 +891,31 @@ func (s *Solver) ScheduleWithin(n int, deadline platform.Time) (out *sched.Spide
 // everything) with a feasible deadline only a port-contention gap away.
 // Every bound is proven, so the converged optimum — and hence the
 // schedule — is unchanged, which the equivalence tests assert.
+//
+// A cancelled search does not leave empty-handed: every probe updates
+// the best-so-far bracket, and the cancellation unwind carries it out
+// wrapped in a *core.PartialError. Lo is always a proven lower bound
+// (the steady-state seed, tightened by sum-of-fits and every failed
+// probe); Hi and Feasible are set once a probe actually packs all n
+// tasks, so a cancel before the first feasible probe reports the lower
+// bound alone — never a fabricated upper bound.
 func (s *Solver) MinMakespan(n int) (mk platform.Time, sol *sched.SpiderSchedule, err error) {
+	var br core.Partial
+	brValid := false
+	// Registered before solveBoundary so it runs after the recover: the
+	// unwind has already been converted into the context error by then.
+	defer func() {
+		if err == nil || !brValid {
+			return
+		}
+		var pe *core.PartialError
+		if errors.As(err, &pe) {
+			return
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			err = &core.PartialError{Partial: br, Err: err}
+		}
+	}()
 	defer s.solveBoundary(&err)
 	if n <= 0 {
 		return 0, nil, fmt.Errorf("spider: task count %d is not positive", n)
@@ -889,6 +925,8 @@ func (s *Solver) MinMakespan(n int) (mk platform.Time, sol *sched.SpiderSchedule
 	if lb, err := baseline.LowerBoundSpider(s.sp, n); err == nil && lb > lo && lb <= hi {
 		lo = lb
 	}
+	br.Lo, br.Hi = lo, hi
+	brValid = true
 	if s.seed2off || lo >= hi {
 		if err := s.prepare(n, hi); err != nil {
 			return 0, nil, err
@@ -922,6 +960,7 @@ func (s *Solver) MinMakespan(n int) (mk platform.Time, sol *sched.SpiderSchedule
 		if c < n {
 			d, step := lo, platform.Time(1)
 			sfLo := lo + 1
+			br.Lo = sfLo
 			for {
 				d = min(d+step, hi)
 				if step *= 2; step <= 0 {
@@ -937,6 +976,7 @@ func (s *Solver) MinMakespan(n int) (mk platform.Time, sol *sched.SpiderSchedule
 					break
 				}
 				sfLo = d + 1
+				br.Lo = sfLo
 			}
 			for sfLo < d {
 				mid := sfLo + (d-sfLo)/2
@@ -947,9 +987,11 @@ func (s *Solver) MinMakespan(n int) (mk platform.Time, sol *sched.SpiderSchedule
 					d = mid
 				} else {
 					sfLo = mid + 1
+					br.Lo = sfLo
 				}
 			}
 			lo = d
+			br.Lo = lo
 		}
 		// Gallop: the first feasible probe seeds the upper bound. A
 		// success at the sum-of-fits bound itself ends the search
@@ -965,9 +1007,11 @@ func (s *Solver) MinMakespan(n int) (mk platform.Time, sol *sched.SpiderSchedule
 			}
 			if ok {
 				hi = d
+				br.Hi, br.Feasible = hi, true
 				break
 			}
 			lo = d + 1
+			br.Lo = lo
 			if step >= hi-d {
 				if err := s.prepare(n, hi); err != nil {
 					return 0, nil, err
@@ -986,8 +1030,10 @@ func (s *Solver) MinMakespan(n int) (mk platform.Time, sol *sched.SpiderSchedule
 		}
 		if ok {
 			hi = mid
+			br.Hi, br.Feasible = hi, true
 		} else {
 			lo = mid + 1
+			br.Lo = lo
 		}
 	}
 	out, err := s.ScheduleWithin(n, lo)

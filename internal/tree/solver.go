@@ -85,6 +85,11 @@ func (s *Solver) Stats() spider.ProbeStats { return s.inner.Stats() }
 
 // MinMakespan returns the covering heuristic's makespan for n tasks
 // together with a schedule achieving it on the covering spider.
+//
+// A cancelled search propagates the inner solver's best-so-far bracket
+// (*core.PartialError) unmodified through the %w wrap: the bracket
+// bounds the cover's makespan, which IS this solver's answer, so it is
+// as sound for trees as for spiders. errors.As recovers it.
 func (s *Solver) MinMakespan(n int) (platform.Time, *sched.SpiderSchedule, error) {
 	mk, sch, err := s.inner.MinMakespan(n)
 	if err != nil {
