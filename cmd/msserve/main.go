@@ -10,7 +10,7 @@
 //	        [-solve-timeout 0] [-queue 0] [-shed-budget 0]
 //	        [-warm-slots 0] [-degraded-default]
 //	        [-max-body 16777216] [-drain-timeout 5s] [-lame-duck 0]
-//	        [-faults FILE] [-slow-query 0] [-pprof]
+//	        [-faults FILE] [-slow-query 0] [-pprof] [-plan-cache DIR]
 //
 // Endpoints:
 //
@@ -54,6 +54,10 @@
 //     load balancers can stop routing first.
 //   - -faults FILE arms the deterministic fault-injection harness from
 //     a JSON rule list (see internal/faultinject) — chaos drills only.
+//   - -plan-cache DIR spills constructed leg plans to DIR on eviction
+//     and snapshots every warmed solver there during drain, so a
+//     restarted shard rehydrates its warm set from disk instead of
+//     reconstructing it (see internal/plancache for the file format).
 //
 // -slow-query DURATION logs every solve at or above the threshold to
 // stderr, one line mirroring the response's cost block.
@@ -81,6 +85,7 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/plancache"
 	"repro/internal/service"
 )
 
@@ -114,6 +119,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		faultsFile   = fs.String("faults", "", "JSON fault-injection rules file (chaos drills)")
 		slowQuery    = fs.Duration("slow-query", 0, "log solves at or above this wall time (0 = off)")
 		pprofOn      = fs.Bool("pprof", false, "mount the profiler under /debug/pprof/")
+		planCacheDir = fs.String("plan-cache", "", "directory for the on-disk plan cache (spill on evict, snapshot on drain, rehydrate on restart)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -144,16 +150,26 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		fmt.Fprintf(out, "msserve: FAULT INJECTION ARMED from %s\n", *faultsFile)
 	}
 
+	var plans *plancache.Store
+	if *planCacheDir != "" {
+		var err error
+		if plans, err = plancache.Open(*planCacheDir); err != nil {
+			return fmt.Errorf("opening plan cache: %w", err)
+		}
+		onDisk, _ := plans.Len()
+		fmt.Fprintf(out, "msserve: plan cache at %s (%d plans on disk)\n", *planCacheDir, onDisk)
+	}
+
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
 	svc := service.New(service.Config{
-		CacheSize:    *cache,
-		Workers:      *workers,
-		MaxN:         *maxN,
-		SlowQuery:    *slowQuery,
-		SlowLog:      os.Stderr,
-		Pprof:        *pprofOn,
+		CacheSize:       *cache,
+		Workers:         *workers,
+		MaxN:            *maxN,
+		SlowQuery:       *slowQuery,
+		SlowLog:         os.Stderr,
+		Pprof:           *pprofOn,
 		SolveTimeout:    *solveTimeout,
 		QueueMax:        *queueMax,
 		ShedBudget:      *shedBudget,
@@ -161,6 +177,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		DegradedDefault: *degradedDflt,
 		MaxBody:         *maxBody,
 		Faults:          faults,
+		PlanCache:       plans,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -207,6 +224,12 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	// With the last solve drained, snapshot every still-cached solver so
+	// the next process over this directory restarts warm.
+	if plans != nil {
+		entries, legs := svc.Snapshot()
+		fmt.Fprintf(out, "msserve: plan cache snapshot (%d solvers, %d legs)\n", entries, legs)
 	}
 	st := svc.Stats()
 	fmt.Fprintf(out, "msserve: stopped (%d hits, %d misses, %d coalesced, %d memo hits, %d evictions)\n",

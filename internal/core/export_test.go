@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+func randChain(r *rand.Rand, p int) platform.Chain {
+	nodes := make([]platform.Node, p)
+	for i := range nodes {
+		nodes[i] = platform.Node{Comm: platform.Time(1 + r.Intn(9)), Work: platform.Time(1 + r.Intn(9))}
+	}
+	return platform.Chain{Nodes: nodes}
+}
+
+func cloneTasks(ts []sched.ChainTask) []sched.ChainTask {
+	out := make([]sched.ChainTask, len(ts))
+	for i, t := range ts {
+		out[i] = t.Clone()
+	}
+	return out
+}
+
+// TestImportRoundTrip: an exported sequence imports into a fresh plan,
+// and both the imported prefix and every later growth are identical to
+// the never-spilled plan.
+func TestImportRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 50; trial++ {
+		ch := randChain(r, 1+r.Intn(8))
+		n := 1 + r.Intn(40)
+		orig, err := NewIncremental(ch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig.Grow(n)
+
+		fresh, err := NewIncremental(ch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.ImportBackward(cloneTasks(orig.ExportBackward())); err != nil {
+			t.Fatalf("trial %d: import: %v", trial, err)
+		}
+		if fresh.Len() != n {
+			t.Fatalf("trial %d: imported %d placements, want %d", trial, fresh.Len(), n)
+		}
+		// Continued growth must be bit-identical to never-spilled growth.
+		grow := n + 1 + r.Intn(20)
+		orig.Grow(grow)
+		fresh.Grow(grow)
+		for i := 0; i < grow; i++ {
+			a, b := orig.Backward(i), fresh.Backward(i)
+			if !a.Equal(b) {
+				t.Fatalf("trial %d: placement %d diverges after import: %+v vs %+v", trial, i, a, b)
+			}
+		}
+		s1, err := orig.Schedule(grow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := fresh.Schedule(grow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s1.Makespan() != s2.Makespan() {
+			t.Fatalf("trial %d: makespan %d vs %d", trial, s1.Makespan(), s2.Makespan())
+		}
+	}
+}
+
+// TestImportPrefix: a truncated export is a valid shorter plan (the
+// construction is prefix-stable), so importing it succeeds and growth
+// rebuilds the cut tail identically.
+func TestImportPrefix(t *testing.T) {
+	ch := platform.NewChain(2, 5, 3, 3, 1, 4)
+	orig, _ := NewIncremental(ch)
+	orig.Grow(20)
+	fresh, _ := NewIncremental(ch)
+	if err := fresh.ImportBackward(cloneTasks(orig.ExportBackward()[:7])); err != nil {
+		t.Fatalf("prefix import: %v", err)
+	}
+	fresh.Grow(20)
+	for i := 0; i < 20; i++ {
+		if !orig.Backward(i).Equal(fresh.Backward(i)) {
+			t.Fatalf("placement %d diverges after prefix import", i)
+		}
+	}
+}
+
+// TestImportRejectsTampering: any mutation of the exported sequence —
+// value edits, reordering, a different chain — is rejected with the
+// failing position, and the plan stays empty and usable.
+func TestImportRejectsTampering(t *testing.T) {
+	ch := platform.NewChain(2, 5, 3, 3, 1, 4)
+	orig, _ := NewIncremental(ch)
+	orig.Grow(12)
+	export := orig.ExportBackward()
+
+	tamper := []struct {
+		name    string
+		mutate  func(ts []sched.ChainTask)
+		wantPos string
+	}{
+		{"comms value", func(ts []sched.ChainTask) { ts[5].Comms[0]++ }, "placement 5"},
+		{"start value", func(ts []sched.ChainTask) { ts[3].Start-- }, "placement 3"},
+		{"proc out of range", func(ts []sched.ChainTask) { ts[0].Proc = 9 }, "placement 0"},
+		{"comms length", func(ts []sched.ChainTask) { ts[2].Comms = ts[2].Comms[:1] }, "placement 2"},
+		{"swap", func(ts []sched.ChainTask) { ts[4], ts[7] = ts[7], ts[4] }, "placement"},
+	}
+	for _, tc := range tamper {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := cloneTasks(export)
+			tc.mutate(bad)
+			fresh, _ := NewIncremental(ch)
+			err := fresh.ImportBackward(bad)
+			if err == nil {
+				t.Fatal("tampered import accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantPos) {
+				t.Fatalf("error %q does not carry position %q", err, tc.wantPos)
+			}
+			if fresh.Len() != 0 {
+				t.Fatalf("failed import left %d placements behind", fresh.Len())
+			}
+			// The plan must still grow correctly after the rejection.
+			fresh.Grow(12)
+			for i := 0; i < 12; i++ {
+				if !orig.Backward(i).Equal(fresh.Backward(i)) {
+					t.Fatalf("placement %d wrong after rejected import", i)
+				}
+			}
+		})
+	}
+
+	t.Run("wrong chain", func(t *testing.T) {
+		other, _ := NewIncremental(platform.NewChain(1, 1, 1, 1, 1, 1))
+		if err := other.ImportBackward(cloneTasks(export)); err == nil {
+			t.Fatal("import of another chain's sequence accepted")
+		}
+	})
+	t.Run("non-empty plan", func(t *testing.T) {
+		warm, _ := NewIncremental(ch)
+		warm.Grow(1)
+		if err := warm.ImportBackward(cloneTasks(export)); err == nil {
+			t.Fatal("import into a non-empty plan accepted")
+		}
+	})
+	t.Run("empty import", func(t *testing.T) {
+		fresh, _ := NewIncremental(ch)
+		if err := fresh.ImportBackward(nil); err != nil {
+			t.Fatalf("empty import: %v", err)
+		}
+	})
+}

@@ -44,7 +44,7 @@ func TestTableCSVQuoting(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E5p", "E5w", "E6c"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E5p", "E5w", "E6c"}
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
 	}
@@ -217,6 +217,26 @@ func TestTreeCoverExperimentShape(t *testing.T) {
 		// Spider-shaped trees must be solved exactly (Theorem 3).
 		if row[2] == "true" && row[6] != "1.000" {
 			t.Errorf("E11 row %v: spider tree not exact", row)
+		}
+	}
+}
+
+func TestFleetExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("restart/capacity drill skipped in -short mode")
+	}
+	// E12's Run carries the PR's acceptance criteria as hard assertions
+	// (zero constructions after restart, bounded restart-warm latency,
+	// fleet capacity ratio); a nil error here IS the drill passing.
+	e, _ := ByID("E12")
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Format()
+	for _, frag := range []string{"E12a", "E12b", "restart-warm (rehydrated)", "2 shards"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("E12 output missing %q", frag)
 		}
 	}
 }

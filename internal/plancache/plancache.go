@@ -1,0 +1,386 @@
+// Package plancache is the on-disk spill store for constructed leg
+// plans: the backward sequences of core.Incremental, keyed by
+// platform.LegKey, in a versioned append-only binary format.
+//
+// Keying by LegKey — the injective (c, w)-sequence encoding — rather
+// than by platform fingerprint makes the store shape-addressed: every
+// platform containing a given leg shape reads and appends the same
+// file, so a spilled plan warms not just the platform that built it but
+// any later platform sharing the leg (the cross-platform plan share).
+//
+// # File format (version 1)
+//
+// One file per LegKey, named by the hex of the first 16 bytes of
+// SHA-256(key) with a ".legplan" suffix. All integers big-endian.
+//
+//	header:
+//	  magic    8 bytes  "MSPLAN\x00\x01" (version in the last byte)
+//	  keyLen   uint32
+//	  key      keyLen bytes (the LegKey encoding itself)
+//	  crc      uint32  IEEE CRC-32 of magic+keyLen+key
+//	records, one per backward placement, in construction order:
+//	  proc     uint32  1-based target processor
+//	  start    int64   task start time (horizon-0 anchored)
+//	  comms    proc × int64
+//	  crc      uint32  IEEE CRC-32 of (record index uint32 ‖ payload)
+//
+// The record CRC covers the record's index, so records cannot be
+// dropped, duplicated or spliced between files without tripping it.
+// Appending a grown plan's new suffix never rewrites existing bytes —
+// the format is append-only, matching the plan it serialises.
+//
+// # Corruption contract
+//
+// A header that fails validation (bad magic, wrong version, key
+// mismatch, bad CRC) or a record whose CRC fails with further data
+// behind it rejects the whole file with a *CorruptError carrying the
+// path, the record position and the byte offset — the caller falls back
+// to fresh construction. A clean prefix followed by a short tail (a
+// torn final append) is NOT corruption: Get returns the valid prefix,
+// and the next Put truncates the torn bytes before appending.
+package plancache
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// magic is the 8-byte file preamble; the final byte is the format
+// version.
+var magic = [8]byte{'M', 'S', 'P', 'L', 'A', 'N', 0, 1}
+
+// maxKeyLen bounds the header's key length; a LegKey is 8+16·p bytes,
+// so this allows chains far beyond any real platform while keeping a
+// corrupt length field from driving a giant allocation.
+const maxKeyLen = 1 << 24
+
+// maxProc bounds a record's processor field the same way.
+const maxProc = 1 << 20
+
+// CorruptError reports a spill file that failed validation, positioned
+// by record index (-1 for the header) and byte offset.
+type CorruptError struct {
+	Path   string
+	Record int   // -1: header
+	Offset int64 // byte offset of the failing region
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	where := fmt.Sprintf("record %d", e.Record)
+	if e.Record < 0 {
+		where = "header"
+	}
+	return fmt.Sprintf("plancache: %s: %s (offset %d): %s", e.Path, where, e.Offset, e.Reason)
+}
+
+// Store is a directory of spilled leg plans. It is safe for concurrent
+// use; operations on one store serialise on an internal mutex (spills
+// and rehydrations are rare next to solves, and serialising keeps the
+// append/truncate sequences atomic without per-file locks).
+type Store struct {
+	dir string
+
+	mu sync.Mutex
+	// state caches each key's clean record count and the byte offset
+	// just past the last clean record, so a Put of a grown plan knows
+	// where its new suffix starts — and where to truncate a torn tail —
+	// without re-reading the file every time. Populated lazily per key.
+	state map[string]fileState
+}
+
+// fileState is one spill file's cached shape: how many clean records it
+// holds and where they end (any bytes beyond cleanEnd are a torn tail).
+type fileState struct {
+	records  int
+	cleanEnd int64
+}
+
+// Open returns a store rooted at dir, creating the directory as needed.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("plancache: %w", err)
+	}
+	return &Store{dir: dir, state: make(map[string]fileState)}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps a LegKey to its file. The name digests the key (keys are
+// binary and unbounded); the full key in the header disambiguates the
+// cryptographically-improbable digest collision as a key mismatch.
+func (s *Store) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(s.dir, hex.EncodeToString(sum[:16])+".legplan")
+}
+
+// Put spills a plan's backward sequence, appending only the records
+// beyond what the file already holds. A file that fails validation is
+// rewritten from scratch (the in-memory plan is the fresher truth). It
+// returns how many records were written.
+func (s *Store) Put(key string, tasks []sched.ChainTask) (appended int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path := s.path(key)
+	st, ok := s.state[key]
+	have, cleanEnd := st.records, st.cleanEnd
+	if !ok {
+		var lerr error
+		var tasksOnDisk []sched.ChainTask
+		tasksOnDisk, cleanEnd, lerr = loadFile(path, key)
+		switch {
+		case errors.Is(lerr, os.ErrNotExist):
+			have = -1 // no file yet: write the header too
+		case lerr != nil:
+			// Corrupt: rewrite wholesale below.
+			have = -1
+			if rerr := os.Remove(path); rerr != nil && !errors.Is(rerr, os.ErrNotExist) {
+				return 0, fmt.Errorf("plancache: %w", rerr)
+			}
+		default:
+			have = len(tasksOnDisk)
+		}
+	}
+	if have >= len(tasks) {
+		s.state[key] = fileState{records: have, cleanEnd: cleanEnd}
+		return 0, nil
+	}
+
+	flags := os.O_WRONLY | os.O_CREATE
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("plancache: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("plancache: %w", cerr)
+		}
+		if err != nil {
+			// A failed write leaves an unknown tail; forget the cached
+			// state so the next Put re-reads (and truncates) the file.
+			delete(s.state, key)
+		}
+	}()
+
+	var w *bufio.Writer
+	if have < 0 {
+		// Fresh or rewritten file: truncate and emit the header.
+		if err := f.Truncate(0); err != nil {
+			return 0, fmt.Errorf("plancache: %w", err)
+		}
+		w = bufio.NewWriter(f)
+		hdr := make([]byte, 0, len(magic)+4+len(key))
+		hdr = append(hdr, magic[:]...)
+		hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(key)))
+		hdr = append(hdr, key...)
+		if _, err := w.Write(hdr); err != nil {
+			return 0, fmt.Errorf("plancache: %w", err)
+		}
+		var crc [4]byte
+		binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(hdr))
+		if _, err := w.Write(crc[:]); err != nil {
+			return 0, fmt.Errorf("plancache: %w", err)
+		}
+		have = 0
+	} else {
+		// Existing clean prefix: drop any torn tail, then append.
+		if err := f.Truncate(cleanEnd); err != nil {
+			return 0, fmt.Errorf("plancache: %w", err)
+		}
+		if _, err := f.Seek(0, io.SeekEnd); err != nil {
+			return 0, fmt.Errorf("plancache: %w", err)
+		}
+		w = bufio.NewWriter(f)
+	}
+
+	for i := have; i < len(tasks); i++ {
+		if err := writeRecord(w, i, tasks[i]); err != nil {
+			return i - have, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return 0, fmt.Errorf("plancache: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return 0, fmt.Errorf("plancache: %w", err)
+	}
+	end, err := f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return 0, fmt.Errorf("plancache: %w", err)
+	}
+	s.state[key] = fileState{records: len(tasks), cleanEnd: end}
+	return len(tasks) - have, nil
+}
+
+func writeRecord(w *bufio.Writer, index int, t sched.ChainTask) error {
+	if t.Proc < 1 || len(t.Comms) != t.Proc {
+		return fmt.Errorf("plancache: record %d: malformed task (proc %d, %d comms)", index, t.Proc, len(t.Comms))
+	}
+	buf := make([]byte, 0, 4+4+8+8*len(t.Comms))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(index))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(t.Proc))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(t.Start))
+	for _, c := range t.Comms {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(c))
+	}
+	// The index is CRC'd but not stored: its position IS its index.
+	if _, err := w.Write(buf[4:]); err != nil {
+		return fmt.Errorf("plancache: %w", err)
+	}
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf))
+	if _, err := w.Write(crc[:]); err != nil {
+		return fmt.Errorf("plancache: %w", err)
+	}
+	return nil
+}
+
+// Get loads the spilled backward sequence for the key. A missing file
+// returns (nil, nil); a file failing validation returns a
+// *CorruptError; a torn final append returns the clean prefix.
+func (s *Store) Get(key string) ([]sched.ChainTask, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tasks, cleanEnd, err := loadFile(s.path(key), key)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		return nil, nil
+	case err != nil:
+		return nil, err
+	}
+	s.state[key] = fileState{records: len(tasks), cleanEnd: cleanEnd}
+	return tasks, nil
+}
+
+// Remove drops the key's spill file; absent files are not an error.
+func (s *Store) Remove(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.state, key)
+	if err := os.Remove(s.path(key)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("plancache: %w", err)
+	}
+	return nil
+}
+
+// Len counts the spill files currently in the store.
+func (s *Store) Len() (int, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, fmt.Errorf("plancache: %w", err)
+	}
+	n := 0
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".legplan") {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// loadFile reads and validates one spill file. cleanEnd is the byte
+// offset just past the last clean record — the truncation point a
+// subsequent append must use when the file carries a torn tail.
+func loadFile(path, key string) (tasks []sched.ChainTask, cleanEnd int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err // os.ErrNotExist passes through for callers
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+
+	hdrLen := len(magic) + 4 + len(key)
+	hdr := make([]byte, hdrLen+4)
+	if _, err := io.ReadFull(r, hdr[:len(magic)+4]); err != nil {
+		return nil, 0, &CorruptError{Path: path, Record: -1, Offset: 0, Reason: "file shorter than its header"}
+	}
+	if string(hdr[:6]) != string(magic[:6]) || hdr[6] != 0 {
+		return nil, 0, &CorruptError{Path: path, Record: -1, Offset: 0, Reason: "bad magic"}
+	}
+	if hdr[7] != magic[7] {
+		return nil, 0, &CorruptError{Path: path, Record: -1, Offset: 7,
+			Reason: fmt.Sprintf("format version %d, want %d", hdr[7], magic[7])}
+	}
+	keyLen := binary.BigEndian.Uint32(hdr[len(magic):])
+	if keyLen > maxKeyLen {
+		return nil, 0, &CorruptError{Path: path, Record: -1, Offset: int64(len(magic)),
+			Reason: fmt.Sprintf("key length %d exceeds limit", keyLen)}
+	}
+	if int(keyLen) != len(key) {
+		return nil, 0, &CorruptError{Path: path, Record: -1, Offset: int64(len(magic)),
+			Reason: fmt.Sprintf("LegKey mismatch: stored key is %d bytes, want %d", keyLen, len(key))}
+	}
+	if _, err := io.ReadFull(r, hdr[len(magic)+4:]); err != nil {
+		return nil, 0, &CorruptError{Path: path, Record: -1, Offset: int64(len(magic) + 4), Reason: "file shorter than its header"}
+	}
+	if string(hdr[len(magic)+4:hdrLen]) != key {
+		return nil, 0, &CorruptError{Path: path, Record: -1, Offset: int64(len(magic) + 4),
+			Reason: "LegKey mismatch: stored key differs"}
+	}
+	if got, want := binary.BigEndian.Uint32(hdr[hdrLen:]), crc32.ChecksumIEEE(hdr[:hdrLen]); got != want {
+		return nil, 0, &CorruptError{Path: path, Record: -1, Offset: int64(hdrLen),
+			Reason: fmt.Sprintf("header checksum %08x, want %08x", got, want)}
+	}
+
+	offset := int64(hdrLen + 4)
+	var rec []byte
+	for i := 0; ; i++ {
+		var fixed [12]byte
+		if _, err := io.ReadFull(r, fixed[:]); err != nil {
+			if err == io.EOF {
+				return tasks, offset, nil // clean end
+			}
+			return tasks, offset, nil // torn tail: clean prefix wins
+		}
+		proc := binary.BigEndian.Uint32(fixed[:4])
+		if proc < 1 || proc > maxProc {
+			return nil, 0, &CorruptError{Path: path, Record: i, Offset: offset,
+				Reason: fmt.Sprintf("processor %d out of range", proc)}
+		}
+		need := 4 + 12 + 8*int(proc) + 4 // index prefix + fixed + comms + crc
+		if cap(rec) < need {
+			rec = make([]byte, need)
+		}
+		rec = rec[:need]
+		binary.BigEndian.PutUint32(rec[:4], uint32(i))
+		copy(rec[4:16], fixed[:])
+		if _, err := io.ReadFull(r, rec[16:]); err != nil {
+			return tasks, offset, nil // torn tail mid-record
+		}
+		payload := rec[:need-4]
+		if got, want := binary.BigEndian.Uint32(rec[need-4:]), crc32.ChecksumIEEE(payload); got != want {
+			// A bad CRC on the very last record could be a torn tail that
+			// happened to be record-sized only if the file ends here; any
+			// further byte proves mid-file damage. Peek one byte to tell.
+			if _, perr := r.Peek(1); perr == io.EOF {
+				return tasks, offset, nil
+			}
+			return nil, 0, &CorruptError{Path: path, Record: i, Offset: offset,
+				Reason: fmt.Sprintf("record checksum %08x, want %08x", got, want)}
+		}
+		t := sched.ChainTask{
+			Proc:  int(proc),
+			Start: platform.Time(binary.BigEndian.Uint64(rec[8:16])),
+			Comms: make([]platform.Time, proc),
+		}
+		for k := 0; k < int(proc); k++ {
+			t.Comms[k] = platform.Time(binary.BigEndian.Uint64(rec[16+8*k:]))
+		}
+		tasks = append(tasks, t)
+		offset += int64(need - 4)
+	}
+}

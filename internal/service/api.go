@@ -209,6 +209,17 @@ type Stats struct {
 	// Quarantines counts poisoned cache entries evicted after a solver
 	// panic (a panicking construction counts too).
 	Quarantines uint64 `json:"quarantines"`
+	// Spills counts warmed solvers whose leg plans were written to the
+	// plan cache (LRU evictions and shutdown snapshots); SpilledLegs
+	// counts the distinct leg plans written.
+	Spills      uint64 `json:"spills,omitempty"`
+	SpilledLegs uint64 `json:"spilled_legs,omitempty"`
+	// Rehydrates counts solver builds fully seeded from the plan cache —
+	// warm-equivalent entries that re-ran zero construction;
+	// RehydratedLegs counts the distinct leg plans seeded (partial
+	// rehydrations included).
+	Rehydrates     uint64 `json:"rehydrates,omitempty"`
+	RehydratedLegs uint64 `json:"rehydrated_legs,omitempty"`
 	// QueueDepth is the number of requests currently waiting in the
 	// admission queue (both classes).
 	QueueDepth int64 `json:"queue_depth"`

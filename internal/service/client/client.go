@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/platform"
 	"repro/internal/service"
 )
@@ -75,6 +76,11 @@ type RetryStats struct {
 	// GaveUp counts Do calls that exhausted attempts or budget on a
 	// retryable failure.
 	GaveUp int64
+	// Redirects counts attempts re-targeted to a sibling shard (shard
+	// map armed): instead of sleeping out a 429's Retry-After or a dead
+	// owner's backoff, the next attempt went straight to the next
+	// member in ring order.
+	Redirects int64
 }
 
 // Client talks to one msserve instance. The zero value is not usable;
@@ -84,9 +90,17 @@ type Client struct {
 	hc    *http.Client
 	retry *RetryPolicy
 
-	attempts atomic.Int64
-	retries  atomic.Int64
-	gaveUp   atomic.Int64
+	// Shard routing (WithShards): the client computes each request's
+	// owning shard on the same consistent-hash ring the fleet's routers
+	// use and talks to it directly — no router hop — falling through
+	// ring order when a shard sheds or is unreachable.
+	ring      *cluster.Ring
+	shardBase map[string]string
+
+	attempts  atomic.Int64
+	retries   atomic.Int64
+	gaveUp    atomic.Int64
+	redirects atomic.Int64
 }
 
 // New returns a client for the service at base (e.g.
@@ -109,13 +123,72 @@ func (c *Client) WithRetry(p RetryPolicy) *Client {
 	return c
 }
 
+// WithShards arms client-side shard routing: solves go directly to the
+// shard owning the request's platform fingerprint on the consistent-
+// hash ring over the given members (host:port or http:// URLs — the
+// strings must match the fleet's own shard map verbatim, vnodes
+// included, or placements disagree). With a retry policy also armed, a
+// 429 or transport error from the owner redirects the next attempt to
+// the next member in ring order instead of sleeping: a sibling can
+// answer immediately — colder, but correct — and the backoff sleep is
+// paid only once a full cycle of the fleet has refused. Call before
+// sharing the client across goroutines; returns the client for
+// chaining.
+func (c *Client) WithShards(shards []string, vnodes int) (*Client, error) {
+	ring := cluster.NewRing(vnodes)
+	bases := make(map[string]string, len(shards))
+	for _, s := range shards {
+		if err := ring.Add(s); err != nil {
+			return nil, fmt.Errorf("client: %w", err)
+		}
+		base := s
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		bases[s] = strings.TrimRight(base, "/")
+	}
+	c.ring, c.shardBase = ring, bases
+	return c, nil
+}
+
 // RetryStats snapshots the retry loop's counters.
 func (c *Client) RetryStats() RetryStats {
 	return RetryStats{
-		Attempts: c.attempts.Load(),
-		Retries:  c.retries.Load(),
-		GaveUp:   c.gaveUp.Load(),
+		Attempts:  c.attempts.Load(),
+		Retries:   c.retries.Load(),
+		GaveUp:    c.gaveUp.Load(),
+		Redirects: c.redirects.Load(),
 	}
+}
+
+// targets resolves one request's attempt order: with a shard map, the
+// full fleet in ring order starting at the platform's owner; without
+// one (or when the platform does not decode — the server will say why)
+// just the configured base.
+func (c *Client) targets(req *service.Request) []string {
+	if c.ring == nil {
+		return []string{c.base}
+	}
+	dec, err := platform.Read(bytes.NewReader(req.Platform))
+	if err != nil {
+		return []string{c.base}
+	}
+	members := c.ring.Owners(dec.Hash(), c.ring.Len())
+	out := make([]string, len(members))
+	for i, m := range members {
+		out[i] = c.shardBase[m]
+	}
+	return out
+}
+
+// redirectable reports whether a failed attempt should move to the
+// next shard rather than sleep: sheds (the owner is loaded, a sibling
+// may not be) and transport failures (the owner is down). Server-side
+// breakage (500/502/503/504) retries in place — the sibling would
+// reconstruct a warm set for no reason when the owner's quarantine or
+// restart resolves the fault.
+func redirectable(status int) bool {
+	return status == 0 || status == http.StatusTooManyRequests
 }
 
 // retryableStatus reports whether the status signals a transient
@@ -142,14 +215,18 @@ func (c *Client) Do(ctx context.Context, req *service.Request) (*service.Respons
 	if err != nil {
 		return nil, fmt.Errorf("client: encoding request: %w", err)
 	}
+	targets := c.targets(req)
 	if c.retry == nil {
 		c.attempts.Add(1)
-		resp, _, _, err := c.doOnce(ctx, payload)
+		resp, _, _, err := c.doOnce(ctx, targets[0], payload)
 		return resp, err
 	}
 	p := *c.retry
 	start := time.Now()
 	var lastErr error
+	// ti walks the shard targets: 0 is the platform's owner, advanced to
+	// the next ring member on redirectable failures.
+	ti := 0
 	// degraded is the best-so-far bounded-quality answer (RefineDegraded
 	// only); whenever the loop stops without an exact answer, it wins
 	// over whatever transient error stopped the refinement.
@@ -159,7 +236,7 @@ func (c *Client) Do(ctx context.Context, req *service.Request) (*service.Respons
 		if attempt > 0 {
 			c.retries.Add(1)
 		}
-		resp, status, retryAfter, err := c.doOnce(ctx, payload)
+		resp, status, retryAfter, err := c.doOnce(ctx, targets[ti], payload)
 		if err == nil {
 			if !resp.Degraded || !p.RefineDegraded {
 				return resp, nil
@@ -185,6 +262,16 @@ func (c *Client) Do(ctx context.Context, req *service.Request) (*service.Respons
 		if attempt+1 >= p.MaxAttempts {
 			break
 		}
+		// A shed or unreachable shard redirects to the next sibling in
+		// ring order with no sleep at all — it may answer right now; the
+		// backoff (and the owner's Retry-After) is paid only once a full
+		// cycle of the fleet has refused.
+		if err != nil && redirectable(status) && ti+1 < len(targets) {
+			ti++
+			c.redirects.Add(1)
+			continue
+		}
+		ti = 0
 		sleep := backoff(p, attempt, retryAfter)
 		if p.Budget > 0 && time.Since(start)+sleep > p.Budget {
 			break
@@ -255,10 +342,11 @@ func parseRetryAfter(v string, now time.Time) time.Duration {
 	return 0
 }
 
-// doOnce sends one attempt. status is 0 on transport failure;
-// retryAfter is the parsed Retry-After header (0 when absent).
-func (c *Client) doOnce(ctx context.Context, payload []byte) (resp *service.Response, status int, retryAfter time.Duration, err error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/solve", bytes.NewReader(payload))
+// doOnce sends one attempt to the given shard base URL. status is 0 on
+// transport failure; retryAfter is the parsed Retry-After header (0
+// when absent).
+func (c *Client) doOnce(ctx context.Context, base string, payload []byte) (resp *service.Response, status int, retryAfter time.Duration, err error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/solve", bytes.NewReader(payload))
 	if err != nil {
 		return nil, 0, 0, fmt.Errorf("client: %w", err)
 	}

@@ -25,13 +25,17 @@ import (
 // setCancel attaches (nil detaches) the per-solve cancellation
 // checkpoint; probeStats snapshots the solver's cumulative telemetry
 // in the shared ProbeStats shape (chains map their incremental
-// counters onto it). Implementations are not safe for concurrent use
-// (the entry mutex serialises callers).
+// counters onto it). exportPlans and rehydrate are the plan-cache
+// spill/rehydrate seam: every backend's paid state is LegKey-keyed
+// backward sequences, whatever the wire kind. Implementations are not
+// safe for concurrent use (the entry mutex serialises callers).
 type backend interface {
 	answer(q *query) (*solved, error)
 	setTrace(t *obs.SolveTrace)
 	setCancel(c *obs.CancelCheck)
 	probeStats() spider.ProbeStats
+	exportPlans() []spider.PlanExport
+	rehydrate(lookup func(key string) []sched.ChainTask) spider.RehydrateResult
 }
 
 // kindHandler describes one wire platform kind.
@@ -176,6 +180,37 @@ func (b *chainBackend) probeStats() spider.ProbeStats {
 	}
 }
 
+// exportPlans treats the chain as the one-leg platform it is: its plan
+// spills under the leg's own key, so a spider containing this chain as
+// a leg shares the spilled construction (and vice versa).
+func (b *chainBackend) exportPlans() []spider.PlanExport {
+	if b.inc.Len() == 0 {
+		return nil
+	}
+	return []spider.PlanExport{{
+		Key:      platform.LegKey(b.inc.Chain()),
+		Backward: b.inc.ExportBackward(),
+	}}
+}
+
+func (b *chainBackend) rehydrate(lookup func(key string) []sched.ChainTask) spider.RehydrateResult {
+	res := spider.RehydrateResult{Plans: 1}
+	if b.inc.Len() > 0 {
+		res.Hydrated = 1
+		return res
+	}
+	tasks := lookup(platform.LegKey(b.inc.Chain()))
+	if len(tasks) == 0 {
+		return res
+	}
+	if err := b.inc.ImportBackward(tasks); err != nil {
+		res.Failed, res.Err = 1, err
+		return res
+	}
+	res.Hydrated = 1
+	return res
+}
+
 func (b *chainBackend) answer(q *query) (*solved, error) {
 	n, dl, wantSched := q.req.N, q.req.Deadline, q.req.IncludeSchedule
 	sol := &solved{}
@@ -222,6 +257,8 @@ type spiderish interface {
 	SetTrace(t *obs.SolveTrace)
 	SetCancel(c *obs.CancelCheck)
 	Stats() spider.ProbeStats
+	ExportPlans() []spider.PlanExport
+	Rehydrate(lookup func(key string) []sched.ChainTask) spider.RehydrateResult
 }
 
 // spiderishBackend answers queries whose schedules are expressed on a
@@ -235,6 +272,12 @@ type spiderishBackend struct {
 func (b *spiderishBackend) setTrace(t *obs.SolveTrace)    { b.s.SetTrace(t) }
 func (b *spiderishBackend) setCancel(c *obs.CancelCheck)  { b.s.SetCancel(c) }
 func (b *spiderishBackend) probeStats() spider.ProbeStats { return b.s.Stats() }
+func (b *spiderishBackend) exportPlans() []spider.PlanExport {
+	return b.s.ExportPlans()
+}
+func (b *spiderishBackend) rehydrate(lookup func(key string) []sched.ChainTask) spider.RehydrateResult {
+	return b.s.Rehydrate(lookup)
+}
 
 func (b *spiderishBackend) answer(q *query) (*solved, error) {
 	n, dl, wantSched := q.req.N, q.req.Deadline, q.req.IncludeSchedule

@@ -46,6 +46,15 @@ type metrics struct {
 	degradedShed    *obs.Counter
 	degradedTimeout *obs.Counter
 	degradedCancel  *obs.Counter
+
+	// Plan-cache counters: the spill/rehydrate traffic of the
+	// distributed tier's restart-survival story.
+	spills          *obs.Counter
+	spilledLegs     *obs.Counter
+	spillErrors     *obs.Counter
+	rehydrates      *obs.Counter
+	rehydratedLegs  *obs.Counter
+	rehydrateErrors *obs.Counter
 }
 
 func newMetrics(s *Service) *metrics {
@@ -65,6 +74,13 @@ func newMetrics(s *Service) *metrics {
 		cancellations: r.Counter("repro_service_cancellations_total", "queries whose context was cancelled (client gone, drain)"),
 		quarantines:   r.Counter("repro_service_quarantines_total", "poisoned cache entries evicted after a solver panic"),
 		cancelHits:    r.Counter("repro_service_cancel_checkpoint_hits_total", "solves stopped at a cooperative cancellation checkpoint"),
+
+		spills:          r.Counter("repro_service_spills_total", "warmed solvers whose leg plans were written to the plan cache (evictions and snapshots)"),
+		spilledLegs:     r.Counter("repro_service_spilled_legs_total", "distinct leg plans written to the plan cache"),
+		spillErrors:     r.Counter("repro_service_spill_errors_total", "leg plans that failed to write to the plan cache"),
+		rehydrates:      r.Counter("repro_service_rehydrates_total", "solver builds fully seeded from the plan cache — zero construction work"),
+		rehydratedLegs:  r.Counter("repro_service_rehydrated_legs_total", "distinct leg plans seeded from the plan cache"),
+		rehydrateErrors: r.Counter("repro_service_rehydrate_errors_total", "spilled plans rejected at import or unreadable on disk (fell back to construction)"),
 	}
 	const degradedHelp = "bounded-quality 200s served in place of an error, by conversion reason"
 	m.degradedShed = r.Counter("repro_service_degraded_total", degradedHelp, "reason", "shed")

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/obs"
+	"repro/internal/plancache"
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/spider"
@@ -85,6 +86,15 @@ type Config struct {
 	// points (construction, solve, handler) — a test and chaos-drill
 	// seam. Nil, the default, costs one pointer compare per site.
 	Faults *faultinject.Injector
+	// PlanCache, when non-nil, is the on-disk spill store for
+	// constructed leg plans (plancache.Store). Evicted entries spill
+	// their plans before leaving, Snapshot spills the whole cache (the
+	// drain hook), and every solver construction first tries to seed
+	// its empty plans from the store — a build whose every distinct leg
+	// was found counts as a rehydrate, not a construction. Because the
+	// store is keyed by platform.LegKey, distinct platforms sharing leg
+	// shapes share spilled plans. Nil disables spilling entirely.
+	PlanCache *plancache.Store
 }
 
 // Service answers scheduling queries from an LRU cache of warmed
@@ -201,6 +211,10 @@ func (s *Service) Stats() Stats {
 		Timeouts:       uint64(s.m.timeouts.Value()),
 		Cancellations:  uint64(s.m.cancellations.Value()),
 		Quarantines:    uint64(s.m.quarantines.Value()),
+		Spills:         uint64(s.m.spills.Value()),
+		SpilledLegs:    uint64(s.m.spilledLegs.Value()),
+		Rehydrates:     uint64(s.m.rehydrates.Value()),
+		RehydratedLegs: uint64(s.m.rehydratedLegs.Value()),
 		QueueDepth:     s.adm.depth(),
 		WarmQueueDepth: s.adm.classDepth(classWarm),
 		ColdQueueDepth: s.adm.classDepth(classCold),
@@ -699,23 +713,132 @@ func (s *Service) construct(q *query) (e *entry, err error) {
 	if err != nil {
 		return nil, err
 	}
+	// Rehydrate before first use: seed the fresh backend's empty leg
+	// plans from the spill store. A build whose EVERY distinct plan was
+	// seeded did no construction work — it counts as a rehydrate; a
+	// partial seed (some legs found, some not) still counts as a
+	// construction, with the seeded legs on their own counter.
+	rehydrated := false
+	if s.cfg.PlanCache != nil {
+		res := be.rehydrate(s.planLookup)
+		if res.Hydrated > 0 {
+			s.m.rehydratedLegs.Add(int64(res.Hydrated))
+		}
+		if res.Failed > 0 {
+			s.m.rehydrateErrors.Add(int64(res.Failed))
+		}
+		rehydrated = res.Plans > 0 && res.Hydrated == res.Plans
+	}
 	s.cm.observe(q.key.kind, true, time.Since(start).Nanoseconds())
 	e = &entry{key: q.key, be: be, trace: &obs.SolveTrace{}}
 	// Attaching right after construction flushes the build-time set-up
 	// (leg dedup, tree cover) into the trace, so the first solve's cost
 	// block carries the construction it paid for.
 	be.setTrace(e.trace)
+	// Rehydrated placements were not built by the first query — baseline
+	// the entry's cost telemetry past them so its cost block reports
+	// only work it actually ran.
+	if rehydrated {
+		e.lastStats = be.probeStats()
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.m.constructions.Inc()
+	if rehydrated {
+		s.m.rehydrates.Inc()
+	} else {
+		s.m.constructions.Inc()
+	}
 	s.entries[q.key] = s.lru.PushFront(e)
+	var evicted []*entry
 	for s.lru.Len() > s.cfg.CacheSize {
 		old := s.lru.Back()
 		s.lru.Remove(old)
-		delete(s.entries, old.Value.(*entry).key)
+		oe := old.Value.(*entry)
+		delete(s.entries, oe.key)
 		s.m.evictions.Inc()
+		evicted = append(evicted, oe)
+	}
+	s.mu.Unlock()
+	// Spill outside s.mu: the spill takes each evicted entry's own mutex
+	// (it may still be answering a query) and writes to disk — neither
+	// belongs under the cache lock.
+	for _, oe := range evicted {
+		s.spill(oe)
 	}
 	return e, nil
+}
+
+// planLookup is the rehydrate side of the plan cache: fetch one leg's
+// spilled backward sequence, mapping every disk-level failure —
+// including a corrupt file — to "not found" so the query falls back to
+// fresh construction instead of failing.
+func (s *Service) planLookup(key string) []sched.ChainTask {
+	tasks, err := s.cfg.PlanCache.Get(key)
+	if err != nil {
+		s.m.rehydrateErrors.Inc()
+		s.logPlanCache(err)
+		return nil
+	}
+	return tasks
+}
+
+// logPlanCache writes one plan-cache failure line to the service log
+// (SlowLog doubles as the service's operational log writer).
+func (s *Service) logPlanCache(err error) {
+	s.slowMu.Lock()
+	defer s.slowMu.Unlock()
+	fmt.Fprintf(s.cfg.SlowLog, "service: plan cache: %v\n", err)
+}
+
+// spill writes one entry's constructed leg plans to the plan cache,
+// under the entry's own mutex so an in-flight solve cannot grow the
+// plans mid-serialisation. Spill failures are counted and logged, never
+// propagated: losing a spill costs a future reconstruction, nothing
+// more.
+func (s *Service) spill(e *entry) (legs int) {
+	if s.cfg.PlanCache == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	exports := e.be.exportPlans()
+	if len(exports) == 0 {
+		return 0
+	}
+	for _, pe := range exports {
+		if _, err := s.cfg.PlanCache.Put(pe.Key, pe.Backward); err != nil {
+			s.m.spillErrors.Inc()
+			s.logPlanCache(err)
+			continue
+		}
+		legs++
+	}
+	s.m.spills.Inc()
+	s.m.spilledLegs.Add(int64(legs))
+	return legs
+}
+
+// Snapshot spills every cached entry's constructed plans to the plan
+// cache — the graceful-shutdown hook: msserve calls it after the drain,
+// so a restarted shard rehydrates its whole warm set. It returns how
+// many entries and distinct leg plans were written. Without a plan
+// cache it is a no-op.
+func (s *Service) Snapshot() (entries, legs int) {
+	if s.cfg.PlanCache == nil {
+		return 0, 0
+	}
+	s.mu.Lock()
+	all := make([]*entry, 0, s.lru.Len())
+	for el := s.lru.Front(); el != nil; el = el.Next() {
+		all = append(all, el.Value.(*entry))
+	}
+	s.mu.Unlock()
+	for _, e := range all {
+		if n := s.spill(e); n > 0 {
+			entries++
+			legs += n
+		}
+	}
+	return entries, legs
 }
 
 // solved is the raw answer of one solve, before wire encoding.

@@ -1,0 +1,179 @@
+package spider
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// exportMap indexes an export for use as a Rehydrate lookup, cloning
+// the tasks so the source solver's storage is never shared.
+func exportMap(exp []PlanExport) map[string][]sched.ChainTask {
+	m := make(map[string][]sched.ChainTask, len(exp))
+	for _, pe := range exp {
+		ts := make([]sched.ChainTask, len(pe.Backward))
+		for i, t := range pe.Backward {
+			ts[i] = t.Clone()
+		}
+		m[pe.Key] = ts
+	}
+	return m
+}
+
+// TestRehydrateEquivalence: a fresh solver seeded from another solver's
+// export answers identically to the donor — and to a never-spilled
+// solver — with zero construction of its own.
+func TestRehydrateEquivalence(t *testing.T) {
+	sp := platform.NewSpider(
+		platform.NewChain(2, 5, 3, 3),
+		platform.NewChain(1, 4, 2, 2),
+		platform.NewChain(2, 5, 3, 3), // dup of leg 0: one shared plan
+		platform.NewChain(1, 7),
+	)
+	warm, err := NewSolver(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 60
+	wantMk, wantSch, err := warm.MinMakespan(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := warm.ExportPlans()
+	if len(exp) != 3 {
+		t.Fatalf("exported %d plans, want 3 distinct", len(exp))
+	}
+	plans := exportMap(exp)
+
+	cold, err := NewSolver(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := cold.Rehydrate(func(key string) []sched.ChainTask { return plans[key] })
+	if res.Plans != 3 || res.Hydrated != 3 || res.Failed != 0 || res.Err != nil {
+		t.Fatalf("rehydrate result %+v, want 3/3 hydrated", res)
+	}
+	constructedBefore := cold.Stats().Constructed
+	gotMk, gotSch, err := cold.MinMakespan(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMk != wantMk {
+		t.Fatalf("rehydrated makespan %d, want %d", gotMk, wantMk)
+	}
+	if len(gotSch.Tasks) != len(wantSch.Tasks) {
+		t.Fatalf("rehydrated schedule has %d tasks, want %d", len(gotSch.Tasks), len(wantSch.Tasks))
+	}
+	for i := range gotSch.Tasks {
+		a, b := gotSch.Tasks[i], wantSch.Tasks[i]
+		if a.Leg != b.Leg || !a.ChainTask.Equal(b.ChainTask) {
+			t.Fatalf("task %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	if d := cold.Stats().Constructed - constructedBefore; d != 0 {
+		t.Fatalf("rehydrated solve constructed %d placements, want 0", d)
+	}
+}
+
+// TestRehydrateCrossPlatform: a different spider sharing one leg shape
+// rehydrates that leg from the donor's export — the cross-platform
+// plan share — and constructs only the unshared leg.
+func TestRehydrateCrossPlatform(t *testing.T) {
+	donor, err := NewSolver(platform.NewSpider(
+		platform.NewChain(2, 5, 3, 3),
+		platform.NewChain(1, 7),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := donor.MinMakespan(40); err != nil {
+		t.Fatal(err)
+	}
+	plans := exportMap(donor.ExportPlans())
+
+	other, err := NewSolver(platform.NewSpider(
+		platform.NewChain(2, 5, 3, 3), // shared with donor
+		platform.NewChain(4, 1, 1, 9), // new shape
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := other.Rehydrate(func(key string) []sched.ChainTask { return plans[key] })
+	if res.Plans != 2 || res.Hydrated != 1 || res.Failed != 0 {
+		t.Fatalf("cross-platform rehydrate result %+v, want 1 of 2 hydrated", res)
+	}
+	// The seeded solver still answers correctly.
+	fresh, _ := NewSolver(other.Spider())
+	wantMk, _, err := fresh.MinMakespan(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMk, _, err := other.MinMakespan(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMk != wantMk {
+		t.Fatalf("cross-platform rehydrated makespan %d, want %d", gotMk, wantMk)
+	}
+}
+
+// TestRehydrateRejectsBadSequence: a corrupted sequence is rejected,
+// reported in the result, and the plan constructs fresh — the query
+// never fails.
+func TestRehydrateRejectsBadSequence(t *testing.T) {
+	donor, _ := NewSolver(platform.NewSpider(platform.NewChain(2, 5, 3, 3)))
+	if _, _, err := donor.MinMakespan(20); err != nil {
+		t.Fatal(err)
+	}
+	plans := exportMap(donor.ExportPlans())
+	for _, ts := range plans {
+		ts[3].Comms[0]++ // poison one placement
+	}
+	cold, _ := NewSolver(donor.Spider())
+	res := cold.Rehydrate(func(key string) []sched.ChainTask { return plans[key] })
+	if res.Failed != 1 || res.Hydrated != 0 || res.Err == nil {
+		t.Fatalf("poisoned rehydrate result %+v, want 1 failure", res)
+	}
+	fresh, _ := NewSolver(donor.Spider())
+	wantMk, _, err := fresh.MinMakespan(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMk, _, err := cold.MinMakespan(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMk != wantMk {
+		t.Fatalf("post-rejection makespan %d, want %d", gotMk, wantMk)
+	}
+}
+
+// TestRehydratePartialGrowth: rehydrating from a shorter export than
+// the new query needs seeds the prefix and grows the rest — the
+// append-only property end to end.
+func TestRehydratePartialGrowth(t *testing.T) {
+	donor, _ := NewSolver(platform.NewSpider(
+		platform.NewChain(2, 5, 3, 3),
+		platform.NewChain(1, 7),
+	))
+	if _, _, err := donor.MinMakespan(10); err != nil {
+		t.Fatal(err)
+	}
+	plans := exportMap(donor.ExportPlans())
+	cold, _ := NewSolver(donor.Spider())
+	cold.Rehydrate(func(key string) []sched.ChainTask { return plans[key] })
+
+	fresh, _ := NewSolver(donor.Spider())
+	wantMk, _, err := fresh.MinMakespan(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMk, _, err := cold.MinMakespan(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMk != wantMk {
+		t.Fatalf("grown-past-rehydrate makespan %d, want %d", gotMk, wantMk)
+	}
+}

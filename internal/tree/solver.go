@@ -83,6 +83,20 @@ func (s *Solver) Cover() *Cover { return s.cov }
 // Stats returns the inner spider solver's cumulative probe telemetry.
 func (s *Solver) Stats() spider.ProbeStats { return s.inner.Stats() }
 
+// ExportPlans returns the inner solver's distinct constructed leg
+// plans, keyed by platform.LegKey of the cover's legs — the tree's
+// spillable state. The cover itself is cheap to recompute and is not
+// exported.
+func (s *Solver) ExportPlans() []spider.PlanExport { return s.inner.ExportPlans() }
+
+// Rehydrate seeds the inner solver's empty leg plans from lookup; see
+// spider.Solver.Rehydrate. Because cover legs are keyed like any other
+// legs, a tree can rehydrate from plans spilled by a spider sharing the
+// same leg shapes, and vice versa.
+func (s *Solver) Rehydrate(lookup func(key string) []sched.ChainTask) spider.RehydrateResult {
+	return s.inner.Rehydrate(lookup)
+}
+
 // MinMakespan returns the covering heuristic's makespan for n tasks
 // together with a schedule achieving it on the covering spider.
 //
